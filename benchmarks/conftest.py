@@ -1,0 +1,72 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``test_figNN_*`` module regenerates the data behind one paper
+figure/table and prints it (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables; they are also written to
+``benchmarks/out/``).  The ``benchmark`` fixture times the
+representative unit of work of that experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import compile_source
+from repro.workloads import CASES
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def case_olds():
+    return {cid: compile_source(case.old_source) for cid, case in CASES.items()}
+
+
+def emit_table(name: str, header: list[str], rows: list[list]) -> str:
+    """Format, print, and persist one figure's table."""
+    widths = [
+        max(len(str(cell)) for cell in [head] + [row[i] for row in rows])
+        for i, head in enumerate(header)
+    ]
+    lines = [
+        "  ".join(str(head).ljust(widths[i]) for i, head in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def synthetic_chunk_source(n_stmts: int, n_vars: int = 3) -> str:
+    """A straight-line function of ``n_stmts`` statements over
+    ``n_vars`` u8 locals — the workload for the ILP-complexity sweeps
+    (Figures 13-15)."""
+    decls = "\n    ".join(f"u8 v{i} = {i + 1};" for i in range(n_vars))
+    ops = ["+", "^", "|", "&", "-"]
+    lines = []
+    for s in range(n_stmts):
+        dst = s % n_vars
+        lhs = (s + 1) % n_vars
+        rhs = (s + 2) % n_vars
+        op = ops[s % len(ops)]
+        lines.append(f"v{dst} = v{lhs} {op} v{rhs};")
+    body = "\n    ".join(lines)
+    uses = " ^ ".join(f"v{i}" for i in range(n_vars))
+    return f"""
+void f() {{
+    {decls}
+    {body}
+    led_set({uses});
+}}
+void main() {{ f(); halt(); }}
+"""

@@ -1,0 +1,44 @@
+"""Ablation: the chunking threshold K (paper §3.2).
+
+K controls when short unchanged runs are merged into changed chunks.
+Small K keeps more instructions "unchanged" (more tags to honour);
+large K gives the allocator more freedom inside bigger changed chunks.
+The paper fixes one K without studying it — DESIGN.md calls this out
+as an ablation worth running.
+"""
+
+from repro.core import plan_update
+from repro.workloads import CASES, RA_CASE_IDS
+
+from conftest import emit_table
+
+K_SWEEP = [0, 2, 4, 8, 16]
+
+
+def test_ablation_chunk_threshold(benchmark, case_olds):
+    rows = []
+    for k in K_SWEEP:
+        total_diff = 0
+        total_script = 0
+        for cid in RA_CASE_IDS:
+            case = CASES[cid]
+            result = plan_update(
+                case_olds[cid], case.new_source, ra="ucc", da="ucc", k=k
+            )
+            total_diff += result.diff_inst
+            total_script += result.script_bytes
+        rows.append([k, total_diff, total_script])
+    emit_table(
+        "ablation_chunk_k",
+        ["K", "total Diff_inst (cases 1-12)", "total script bytes"],
+        rows,
+    )
+    # The metric must be defined for every K and not vary wildly: the
+    # chunker affects preferences, not correctness.
+    diffs = [row[1] for row in rows]
+    assert max(diffs) - min(diffs) <= max(diffs) * 0.5 + 5
+
+    case = CASES["6"]
+    benchmark(
+        plan_update, case_olds["6"], case.new_source, ra="ucc", da="ucc", k=4
+    )

@@ -1,0 +1,20 @@
+"""Figure 3: the Mica2 power model table."""
+
+from repro.energy import DEFAULT_ENERGY_MODEL, MICA2
+
+from conftest import emit_table
+
+
+def test_fig03_power_model(benchmark):
+    rows = [[mode, current] for mode, current in MICA2.figure3_rows()]
+    rows.append(["--derived--", ""])
+    rows.append(["cycle energy", f"{MICA2.cycle_energy_j * 1e9:.2f} nJ"])
+    rows.append(["tx bit energy", f"{MICA2.tx_bit_energy_j * 1e6:.2f} uJ"])
+    rows.append(
+        ["tx-bit / cycle ratio", f"{MICA2.tx_bit_per_cycle_ratio:.0f}x (paper uses 1000x incl. protocol overhead)"]
+    )
+    rows.append(
+        ["compile-time E_trans/word", f"{DEFAULT_ENERGY_MODEL.e_trans:.0f} cycle-units"]
+    )
+    emit_table("fig03_power_model", ["mode", "current"], rows)
+    benchmark(MICA2.figure3_rows)

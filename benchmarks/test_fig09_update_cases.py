@@ -1,0 +1,15 @@
+"""Figure 9 (and Figure 16's D-cases): the update test cases."""
+
+from repro.core import compile_source
+from repro.workloads import CASES
+
+from conftest import emit_table
+
+
+def test_fig09_update_cases(benchmark):
+    rows = [
+        [cid, case.level, case.program, case.description]
+        for cid, case in CASES.items()
+    ]
+    emit_table("fig09_update_cases", ["case", "level", "program", "update details"], rows)
+    benchmark(compile_source, CASES["1"].old_source)

@@ -1,0 +1,47 @@
+"""Figure 11: code-quality comparison — Diff_cycle per single run.
+
+Both strategies' updated binaries are simulated for one run under
+identical device configurations; Diff_cycle is the per-run cycle change
+relative to the old binary.  The paper's observation: UCC-RA and GCC-RA
+almost always tie (no extra spills), and where UCC-RA inserts movs the
+slowdown is a negligible fraction of the run.
+"""
+
+from repro.core import measure_cycles, plan_update
+from repro.workloads import CASES, RA_CASE_IDS
+
+from conftest import emit_table
+
+
+def test_fig11_code_quality(benchmark, case_olds):
+    rows = []
+    for cid in RA_CASE_IDS:
+        case = CASES[cid]
+        old = case_olds[cid]
+        gcc = measure_cycles(plan_update(old, case.new_source, ra="gcc", da="ucc"))
+        ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+        ucc_overhead = ucc.new_cycles - gcc.new_cycles
+        rows.append(
+            [
+                cid,
+                gcc.old_cycles,
+                gcc.diff_cycle,
+                ucc.diff_cycle,
+                ucc_overhead,
+                f"{100.0 * ucc_overhead / max(1, gcc.new_cycles):.3f}%",
+            ]
+        )
+        # Paper: the slowdown is negligible in nearly all cases (their
+        # case 12 pays three mov instructions; our case 8 pays one extra
+        # callee-saved push/pop pair per call, ~1.9% of a run — and the
+        # adaptive planner undoes even that at large Cnt, see Fig. 12).
+        assert abs(ucc_overhead) <= max(10, 0.025 * gcc.new_cycles), cid
+    emit_table(
+        "fig11_code_quality",
+        ["case", "old cycles", "GCC diff_cycle", "UCC diff_cycle", "UCC-GCC cycles", "overhead"],
+        rows,
+    )
+
+    case = CASES["6"]
+    result = plan_update(case_olds["6"], case.new_source, ra="ucc", da="ucc")
+    benchmark(measure_cycles, result)

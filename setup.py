@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package (setuptools < 70 gets
+``bdist_wheel`` from it), which offline environments may lack.  This
+shim keeps ``python setup.py develop`` working there; see README
+"Install" for the equivalent .pth fallback.
+"""
+
+from setuptools import setup
+
+setup()

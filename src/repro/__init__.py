@@ -1,0 +1,64 @@
+"""repro — reproduction of *"UCC: Update-Conscious Compilation for
+Energy Efficiency in Wireless Sensor Networks"* (Li, Zhang, Yang,
+Zheng; PLDI 2007).
+
+Quick tour
+----------
+
+>>> from repro import compile_source, plan_update
+>>> from repro.workloads import CASES
+>>> case = CASES["6"]
+>>> old = compile_source(case.old_source)
+>>> result = plan_update(old, case.new_source, ra="ucc", da="ucc")
+>>> result.diff_inst <= plan_update(old, case.new_source, ra="gcc", da="gcc").diff_inst
+True
+
+Subpackages (see DESIGN.md for the full inventory):
+
+* :mod:`repro.lang`      — the ucc-C front end
+* :mod:`repro.ir`        — three-address IR, CFG, liveness
+* :mod:`repro.opt`       — optimization passes
+* :mod:`repro.isa`       — AVR-flavoured target ISA + assembler
+* :mod:`repro.codegen`   — instruction selection
+* :mod:`repro.regalloc`  — baselines, chunks, preferences, UCC-RA (+ILP)
+* :mod:`repro.ilp`       — simplex + branch & bound + scipy backend
+* :mod:`repro.datalayout`— GCC-DA / UCC-DA
+* :mod:`repro.diff`      — edit scripts, differ, patcher, packets
+* :mod:`repro.energy`    — Mica2 power model, eqs. 18-19
+* :mod:`repro.sim`       — instruction-level mote simulator
+* :mod:`repro.net`       — topologies + flooding dissemination
+* :mod:`repro.core`      — compiler, update planner, OTA session
+* :mod:`repro.workloads` — benchmark programs + update cases
+"""
+
+__version__ = "1.0.0"
+
+from .core import (
+    CompiledProgram,
+    Compiler,
+    CompilerOptions,
+    UpdatePlanner,
+    UpdateResult,
+    UpdateSession,
+    compile_source,
+    measure_cycles,
+    plan_update,
+)
+from .energy import DEFAULT_ENERGY_MODEL, MICA2, EnergyModel, PowerModel
+
+__all__ = [
+    "CompiledProgram",
+    "Compiler",
+    "CompilerOptions",
+    "DEFAULT_ENERGY_MODEL",
+    "EnergyModel",
+    "MICA2",
+    "PowerModel",
+    "UpdatePlanner",
+    "UpdateResult",
+    "UpdateSession",
+    "__version__",
+    "compile_source",
+    "measure_cycles",
+    "plan_update",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE``
+    Compile a ucc-C source file; print size stats or a disassembly.
+
+``run FILE``
+    Compile and simulate; print cycles and device activity.
+
+``update OLD NEW``
+    Plan an OTA update from OLD to NEW under a chosen strategy; print
+    the paper's metrics (Diff_inst, script bytes, packets) and
+    optionally the edit script.
+
+``case ID``
+    Replay one of the paper's update cases (1-13, D1, D2) under both
+    strategies and print the comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import compile_source, measure_cycles, plan_update
+from .sim import DeviceBoard, Simulator, Timer
+from .workloads import CASES
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_compile(args) -> int:
+    program = compile_source(
+        _read(args.file), register_allocator=args.ra, optimize=not args.no_opt
+    )
+    print(f"{args.file}: {program.instruction_count} instructions, "
+          f"{program.size_words} words code, "
+          f"{len(program.image.data)} bytes data")
+    if args.disasm:
+        print(program.disassemble())
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(program.image.to_bytes())
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = compile_source(_read(args.file), register_allocator=args.ra)
+    board = DeviceBoard(timer=Timer(period_cycles=args.timer))
+    sim = Simulator(program.image, devices=board, collect_profile=args.profile)
+    result = sim.run(max_cycles=args.max_cycles)
+    status = "halted" if result.halted else "cycle budget exhausted"
+    print(f"{status} after {result.cycles} cycles "
+          f"({result.instructions} instructions)")
+    print(f"LED writes   : {board.led.writes[:16]}"
+          f"{' ...' if len(board.led.writes) > 16 else ''}")
+    print(f"radio packets: {board.radio.sent[:16]}"
+          f"{' ...' if len(board.radio.sent) > 16 else ''}")
+    print(f"timer fires  : {board.timer.fires}")
+    if args.profile:
+        hot = sorted(result.profile.items(), key=lambda kv: -kv[1])[:8]
+        print("hottest sites (function, IR index, executions):")
+        for (fn, ir_index), count in hot:
+            print(f"  {fn}:{ir_index}  x{count}")
+    return 0
+
+
+def cmd_update(args) -> int:
+    old = compile_source(_read(args.old), register_allocator=args.baseline_ra)
+    result = plan_update(old, _read(args.new), ra=args.ra, da=args.da)
+    print(f"strategy      : ra={result.ra_strategy} da={result.da_strategy} "
+          f"cp={result.new.placement.algorithm}")
+    print(f"old binary    : {result.diff.old_instructions} instructions")
+    print(f"new binary    : {result.diff.new_instructions} instructions")
+    print(f"Diff_inst     : {result.diff_inst}")
+    print(f"reused        : {result.reused_instructions}")
+    print(f"script        : {result.script_bytes} bytes "
+          f"(code {result.code_script_bytes} + data {result.data_script_bytes})")
+    print(f"packets       : {result.packets.packet_count} "
+          f"({result.packets.bytes_on_air} bytes on air)")
+    if args.cycles:
+        measure_cycles(result)
+        print(f"Diff_cycle    : {result.diff_cycle}")
+    if args.script:
+        print("edit script:")
+        for line in result.diff.script.render().splitlines():
+            print("  " + line)
+    return 0
+
+
+def cmd_case(args) -> int:
+    case = CASES.get(args.id)
+    if case is None:
+        print(f"unknown case {args.id!r}; available: {', '.join(CASES)}",
+              file=sys.stderr)
+        return 2
+    print(f"case {case.case_id} ({case.level}, {case.program}): "
+          f"{case.description}")
+    old = compile_source(case.old_source)
+    for ra, da in (("gcc", "gcc"), ("ucc", "ucc")):
+        result = plan_update(old, case.new_source, ra=ra, da=da)
+        print(f"  {ra}/{da}: Diff_inst={result.diff_inst:3d}  "
+              f"script={result.script_bytes:4d} B  "
+              f"packets={result.packets.packet_count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UCC (PLDI 2007) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a ucc-C file")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--ra", default="gcc", choices=["gcc", "linear"])
+    p_compile.add_argument("--no-opt", action="store_true")
+    p_compile.add_argument("--disasm", action="store_true")
+    p_compile.add_argument("-o", "--output")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and simulate")
+    p_run.add_argument("file")
+    p_run.add_argument("--ra", default="gcc", choices=["gcc", "linear"])
+    p_run.add_argument("--timer", type=int, default=500)
+    p_run.add_argument("--max-cycles", type=int, default=5_000_000)
+    p_run.add_argument("--profile", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_update = sub.add_parser("update", help="plan an OTA update")
+    p_update.add_argument("old")
+    p_update.add_argument("new")
+    p_update.add_argument("--ra", default="ucc",
+                          choices=["ucc", "ucc-ilp", "gcc", "linear"])
+    p_update.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
+    p_update.add_argument("--baseline-ra", default="gcc",
+                          choices=["gcc", "linear"])
+    p_update.add_argument("--cycles", action="store_true",
+                          help="simulate both versions for Diff_cycle")
+    p_update.add_argument("--script", action="store_true",
+                          help="print the edit script")
+    p_update.set_defaults(func=cmd_update)
+
+    p_case = sub.add_parser("case", help="replay a paper update case")
+    p_case.add_argument("id")
+    p_case.set_defaults(func=cmd_case)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

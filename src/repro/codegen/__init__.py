@@ -1,0 +1,36 @@
+"""Code generation: instruction selection and data-image building."""
+
+from .scratch import ScratchOverflow, ScratchPool
+from .selector import (
+    FunctionSelector,
+    SelectionError,
+    select_function,
+    select_module,
+)
+
+__all__ = [
+    "FunctionSelector",
+    "ScratchOverflow",
+    "ScratchPool",
+    "SelectionError",
+    "select_function",
+    "select_module",
+]
+
+from .placement import (
+    FunctionSlot,
+    PlacementPlan,
+    apply_placement,
+    baseline_placement,
+    code_size_words,
+    ucc_placement,
+)
+
+__all__ += [
+    "FunctionSlot",
+    "PlacementPlan",
+    "apply_placement",
+    "baseline_placement",
+    "code_size_words",
+    "ucc_placement",
+]

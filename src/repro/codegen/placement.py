@@ -1,0 +1,260 @@
+"""Code placement: where each function's code lives in program flash.
+
+The paper defers update-conscious *code placement* to future work
+("we will investigate the code placement problem in our future work",
+§3) but the phenomenon is fully present in this reproduction: our
+``CALL``/``JMP`` instructions embed absolute word addresses, so when an
+early function grows or shrinks, every later function shifts and every
+call site that targets a shifted function re-encodes — update noise
+with no semantic cause, exactly analogous to the register/layout
+cascades of §3/§4 (and the subject of Feedback Linking [26], which the
+paper cites).
+
+Two placement strategies:
+
+* :func:`baseline_placement` — functions packed back-to-back in
+  definition order (what a conventional toolchain does);
+* :func:`ucc_placement` — update-conscious: every function that still
+  fits its old *slot* keeps its old start address, with NOP padding
+  filling any shrinkage; a function that outgrows its slot expands in
+  place (shifting only its successors); new functions append at the
+  end; ``headroom`` optionally pre-pads slots at first deployment so
+  future growth does not shift successors (the slop-space idea of
+  FlexCup-era systems).
+
+The trade is the familiar one: padding NOPs are transmitted once (and
+occupy flash), in exchange for keeping every call site to every stable
+function byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import MachineInstr
+
+
+@dataclass(frozen=True)
+class FunctionSlot:
+    """One function's flash slot: ``[start, start + slot_words)``."""
+
+    name: str
+    start: int
+    code_words: int
+    slot_words: int
+
+    @property
+    def padding_words(self) -> int:
+        return self.slot_words - self.code_words
+
+
+@dataclass(frozen=True)
+class Tombstone:
+    """A dead flash region left behind by a relocated function.
+
+    The region keeps its *old bytes* verbatim: nothing jumps there any
+    more, and byte-identical content costs nothing to disseminate (the
+    differ emits a single ``copy``).  This is how Deluge-era protocols
+    behave too — only changed pages are rewritten."""
+
+    start: int
+    words: tuple[int, ...]
+
+    @property
+    def size_words(self) -> int:
+        return len(self.words)
+
+
+@dataclass
+class PlacementPlan:
+    """The full flash layout of a program's functions."""
+
+    slots: list[FunctionSlot] = field(default_factory=list)
+    tombstones: list[Tombstone] = field(default_factory=list)
+    algorithm: str = "baseline"
+
+    def slot(self, name: str) -> FunctionSlot:
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(slot.name == name for slot in self.slots)
+
+    @property
+    def total_words(self) -> int:
+        ends = [slot.start + slot.slot_words for slot in self.slots]
+        ends += [tomb.start + tomb.size_words for tomb in self.tombstones]
+        return max(ends) if ends else 0
+
+    @property
+    def total_padding(self) -> int:
+        return sum(slot.padding_words for slot in self.slots)
+
+    def stable_functions(self, old: "PlacementPlan") -> list[str]:
+        """Functions that kept their start address versus ``old``."""
+        return [
+            slot.name
+            for slot in self.slots
+            if slot.name in old and old.slot(slot.name).start == slot.start
+        ]
+
+
+def baseline_placement(
+    sizes: dict[str, int], order: list[str], headroom: int = 0
+) -> PlacementPlan:
+    """Pack functions back-to-back in ``order``.
+
+    ``headroom`` adds slack words to every slot (useful when the first
+    deployment anticipates maintenance).
+    """
+    plan = PlacementPlan(algorithm="baseline")
+    cursor = 0
+    for name in order:
+        code = sizes[name]
+        slot = FunctionSlot(
+            name=name, start=cursor, code_words=code, slot_words=code + headroom
+        )
+        plan.slots.append(slot)
+        cursor += slot.slot_words
+    return plan
+
+
+def ucc_placement(
+    sizes: dict[str, int],
+    order: list[str],
+    old_plan: PlacementPlan,
+    headroom: int = 0,
+    old_slot_words: dict[str, tuple[int, ...]] | None = None,
+    relocate_growers: bool = False,
+) -> PlacementPlan:
+    """Update-conscious placement against ``old_plan``.
+
+    * A survivor that fits its old slot keeps it (address-stable; NOP
+      padding fills any shrinkage).
+    * A survivor that *outgrew* its slot expands in place by default:
+      the differ matches the function's unchanged instructions against
+      the old body, so only the genuinely changed instructions (plus
+      the shifted successors' call sites) transmit.  With
+      ``relocate_growers=True`` (and ``old_slot_words`` supplying the
+      old image's raw words) the grower instead moves to the end and
+      its old slot becomes a :class:`Tombstone` — successors stay put,
+      but the whole new body transmits; only worth it for
+      heavily-rewritten functions with many downstream call sites.
+    * Deleted functions' regions are compacted away (successors shift
+      down) — their call sites are gone anyway.
+    * New functions append at the end.
+    """
+    plan = PlacementPlan(algorithm="ucc")
+    old_slot_words = old_slot_words or {}
+    newcomers = [name for name in order if name not in old_plan]
+
+    # Walk the old image's regions (function slots and tombstones alike)
+    # in address order.
+    regions: list[tuple[int, object]] = [
+        (slot.start, slot) for slot in old_plan.slots
+    ] + [(tomb.start, tomb) for tomb in old_plan.tombstones]
+    regions.sort(key=lambda r: r[0])
+
+    cursor = 0
+    relocated: list[str] = []
+    for start, payload in regions:
+        if isinstance(payload, Tombstone):
+            # Dead region from an earlier update: carry it forward if it
+            # is still in place, otherwise compact it away.
+            if start >= cursor:
+                plan.tombstones.append(payload)
+                cursor = start + payload.size_words
+            continue
+        name = payload.name
+        if name not in sizes:
+            continue  # deleted function: compact (its callers are gone)
+        code = sizes[name]
+        if code <= payload.slot_words and start >= cursor:
+            # Address-stable: keep the slot, pad any shrinkage.
+            plan.slots.append(
+                FunctionSlot(
+                    name=name,
+                    start=start,
+                    code_words=code,
+                    slot_words=payload.slot_words,
+                )
+            )
+            cursor = start + payload.slot_words
+            continue
+        raw = old_slot_words.get(name)
+        if relocate_growers and raw is not None and start >= cursor:
+            # Relocate to the end; keep the old bytes as a tombstone so
+            # every successor stays put.
+            plan.tombstones.append(Tombstone(start=start, words=raw))
+            relocated.append(name)
+            cursor = start + len(raw)
+        else:
+            # No raw bytes available (or already displaced): expand in
+            # place and let successors shift.
+            plan.slots.append(
+                FunctionSlot(
+                    name=name,
+                    start=cursor,
+                    code_words=code,
+                    slot_words=code + headroom,
+                )
+            )
+            cursor += code + headroom
+
+    for name in relocated + newcomers:
+        code = sizes[name]
+        plan.slots.append(
+            FunctionSlot(
+                name=name, start=cursor, code_words=code, slot_words=code + headroom
+            )
+        )
+        cursor += code + headroom
+    return plan
+
+
+def apply_placement(
+    function_code: dict[str, list[MachineInstr]], plan: PlacementPlan
+) -> list[MachineInstr]:
+    """Emit functions and tombstones in address order with NOP padding.
+
+    Inter-slot gaps (e.g. a survivor holding its old address after a
+    predecessor shrank) and intra-slot tails become NOPs tagged
+    ``<pad>``; tombstone regions re-emit the old image's instructions
+    verbatim (tagged ``<tomb>``).  The assembler's address assignment
+    then reproduces the plan exactly (checked by the compiler).
+    """
+    from ..isa.assembler import disassemble_words
+
+    regions: list[tuple[int, int, object]] = []  # (start, span, payload)
+    for slot in plan.slots:
+        regions.append((slot.start, slot.slot_words, slot))
+    for tomb in plan.tombstones:
+        regions.append((tomb.start, tomb.size_words, tomb))
+    regions.sort(key=lambda r: r[0])
+
+    out: list[MachineInstr] = []
+    cursor = 0
+    for start, span, payload in regions:
+        gap = start - cursor
+        if gap < 0:  # pragma: no cover - plans are constructed gap-free
+            raise ValueError(f"placement overlap at {payload}")
+        out.extend(MachineInstr("nop", comment="<pad>") for _ in range(gap))
+        if isinstance(payload, Tombstone):
+            for instr in disassemble_words(list(payload.words)):
+                instr.comment = "<tomb>"
+                out.append(instr)
+        else:
+            out.extend(function_code[payload.name])
+            out.extend(
+                MachineInstr("nop", comment="<pad>")
+                for _ in range(payload.padding_words)
+            )
+        cursor = start + span
+    return out
+
+
+def code_size_words(instrs: list[MachineInstr]) -> int:
+    """Total encoded size of a function's instruction list."""
+    return sum(ins.size_words for ins in instrs)

@@ -1,0 +1,48 @@
+"""Scratch-register pool for instruction selection.
+
+Spilled operands and immediates are materialised in reserved scratch
+registers so the selector never perturbs the allocator's assignment.
+The pool hands out bytes from the reserved set {r0, r26..r29} (r1 stays
+the zero register, r30:r31 stay the Z pointer) and is reset per IR
+instruction; the lowering patterns are written so the pool never
+overflows — an overflow raises, it does not silently corrupt.
+"""
+
+from __future__ import annotations
+
+_POOL_UNITS = (0, 26, 27, 28, 29)
+_PAIR_BASES = (26, 28)
+
+
+class ScratchOverflow(Exception):
+    """An IR instruction needed more scratch registers than exist."""
+
+
+class ScratchPool:
+    """Allocates scratch bytes/pairs within one IR instruction."""
+
+    def __init__(self):
+        self._in_use: set[int] = set()
+
+    def reset(self) -> None:
+        self._in_use.clear()
+
+    def take(self, size: int) -> int:
+        """Reserve a scratch base register for a value of ``size`` bytes."""
+        if size == 1:
+            for unit in _POOL_UNITS:
+                if unit not in self._in_use:
+                    self._in_use.add(unit)
+                    return unit
+            raise ScratchOverflow("out of u8 scratch registers")
+        if size == 2:
+            for base in _PAIR_BASES:
+                if base not in self._in_use and base + 1 not in self._in_use:
+                    self._in_use.update((base, base + 1))
+                    return base
+            raise ScratchOverflow("out of u16 scratch register pairs")
+        raise ValueError(f"unsupported scratch size {size}")
+
+    def release(self, base: int, size: int) -> None:
+        for unit in range(base, base + size):
+            self._in_use.discard(unit)

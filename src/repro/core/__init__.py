@@ -1,0 +1,34 @@
+"""End-to-end pipeline: compiler, update planner, dissemination session."""
+
+from .compiler import (
+    CompiledProgram,
+    Compiler,
+    CompilerOptions,
+    RA_BASELINES,
+    build_data_image,
+    compile_source,
+)
+from .update import (
+    UpdatePlanner,
+    UpdateResult,
+    measure_cycles,
+    plan_update,
+    profile_program,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "Compiler",
+    "CompilerOptions",
+    "RA_BASELINES",
+    "UpdatePlanner",
+    "UpdateResult",
+    "build_data_image",
+    "compile_source",
+    "measure_cycles",
+    "plan_update",
+]
+
+from .session import SessionResult, UpdateSession
+
+__all__ += ["SessionResult", "UpdateSession", "profile_program"]

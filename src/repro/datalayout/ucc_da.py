@@ -1,0 +1,225 @@
+"""UCC-DA: threshold-based update-conscious data allocation (paper §4).
+
+The algorithm:
+
+1. Variables present in both versions keep their old address — no
+   instruction that addresses them needs re-encoding.
+2. Deleted variables are not compacted away; their bytes become *holes*.
+3. New variables first fill holes (so a rename — deletion plus
+   insertion — naturally lands the new name in the old slot, the
+   property §5.7 highlights), then extend the segment.
+4. If holes remain, the wasted runtime memory is
+   ``sum(Extra_i * Depth_i)`` over owning functions (eq. 16).  While it
+   exceeds the threshold ``SpaceT``, relocate the *last* variable of the
+   function maximising ``Depth_j / Usage_j(last)`` (eq. 17) into a hole
+   — the victim that frees the most runtime memory per re-encoded
+   instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layout import DataLayout, Hole, LayoutObject
+
+
+@dataclass
+class UCCDAReport:
+    """Diagnostics: what the algorithm did, for tests and benches."""
+
+    reused_holes: list[str] = field(default_factory=list)
+    appended: list[str] = field(default_factory=list)
+    relocated: list[str] = field(default_factory=list)
+    wasted_before: int = 0
+    wasted_after: int = 0
+
+
+def allocate_ucc_da(
+    objects: list[LayoutObject],
+    old_layout: DataLayout,
+    space_threshold: int = 0,
+) -> tuple[DataLayout, UCCDAReport]:
+    """Lay out ``objects`` update-consciously against ``old_layout``.
+
+    ``space_threshold`` is the paper's ``SpaceT`` in bytes of projected
+    runtime waste; 0 demands full reclamation (the paper's Figure 7
+    walk-through uses ``SpaceT = 0``).
+    """
+    report = UCCDAReport()
+    layout = DataLayout(algorithm="ucc-da")
+    layout.segment_base = old_layout.segment_base
+    by_uid = {obj.uid: obj for obj in objects}
+
+    # 1. Survivors keep their addresses.
+    survivors = [uid for uid in old_layout.addresses if uid in by_uid]
+    for uid in survivors:
+        obj = by_uid[uid]
+        layout.objects[uid] = obj
+        layout.addresses[uid] = old_layout.addresses[uid]
+
+    # 2. Deleted variables leave holes.  Each hole remembers its former
+    #    owner (for eq. 16) and the deleted variable's static reference
+    #    count, which guides role matching below.
+    holes: list[tuple[int, int, str | None, int]] = []
+    for uid, address in old_layout.addresses.items():
+        if uid in by_uid:
+            continue
+        old_obj = old_layout.objects.get(uid)
+        size = old_obj.size if old_obj else 1
+        owner = old_obj.function if old_obj else None
+        usage = old_obj.usage if old_obj else 0
+        holes.append((address, size, owner, usage))
+    holes.sort()
+
+    segment_end = max(
+        [old_layout.segment_end]
+        + [layout.addresses[uid] + by_uid[uid].size for uid in survivors]
+    )
+
+    def take_hole(size: int, usage: int = -1) -> int | None:
+        """Hole selection with role matching.
+
+        Preference order: exact size with matching reference count (a
+        renamed variable naturally reclaims its old slot, maximising
+        code similarity — §5.7), then exact size, then first fit
+        (splitting the hole).
+        """
+        exact = [i for i, h in enumerate(holes) if h[1] == size]
+        same_role = [i for i in exact if holes[i][3] == usage]
+        fitting = same_role or exact or [
+            i for i, h in enumerate(holes) if h[1] > size
+        ]
+        if not fitting:
+            return None
+        index = fitting[0]
+        address, hole_size, owner, hole_usage = holes.pop(index)
+        if hole_size > size:
+            holes.insert(index, (address + size, hole_size - size, owner, hole_usage))
+        return address
+
+    # 3. New variables: fill holes first, then extend the segment.
+    new_objects = [obj for obj in objects if obj.uid not in layout.addresses]
+    for obj in new_objects:
+        layout.objects[obj.uid] = obj
+        address = take_hole(obj.size, obj.usage)
+        if address is not None:
+            layout.addresses[obj.uid] = address
+            report.reused_holes.append(obj.uid)
+        else:
+            layout.addresses[obj.uid] = segment_end
+            segment_end += obj.size
+            report.appended.append(obj.uid)
+
+    # Holes at the very tail are not waste: the segment just shrinks.
+    holes, segment_end = _trim_tail(holes, segment_end)
+
+    # 4. Threshold-based relocation (eqs. 16-17).
+    report.wasted_before = sum(h[1] for h in holes)
+
+    def wasted_weighted() -> int:
+        return sum(h[1] * _depth_of(h[2], objects) for h in holes)
+
+    # Progress guarantee: a victim only ever moves *down* (into a hole
+    # below its current address), so the sum of addresses strictly
+    # decreases and the loop terminates; a belt-and-braces cap bounds it
+    # regardless.
+    max_relocations = 4 * max(1, len(objects))
+    while holes and wasted_weighted() > space_threshold:
+        if len(report.relocated) >= max_relocations:
+            break
+        victim = _pick_relocation_victim(layout, holes, objects)
+        if victim is None:
+            break
+        old_address = layout.addresses[victim.uid]
+        address = take_hole_below(holes, victim.size, old_address)
+        if address is None:
+            break
+        layout.addresses[victim.uid] = address
+        report.relocated.append(victim.uid)
+        assert address < old_address  # movement is strictly downward
+        # The vacated range at the segment tail becomes reclaimable; if
+        # the victim was the last object, the segment shrinks, otherwise
+        # its bytes become a hole like any other.
+        if old_address + victim.size == segment_end:
+            segment_end = old_address
+        else:
+            holes.append((old_address, victim.size, victim.function, victim.usage))
+            holes.sort()
+
+    holes, segment_end = _trim_tail(holes, segment_end)
+    report.wasted_after = sum(h[1] for h in holes)
+    layout.holes = [Hole(h[0], h[1]) for h in holes]
+    layout.segment_end = segment_end
+    layout.check()
+    return layout, report
+
+
+def _trim_tail(holes: list[tuple], segment_end: int) -> tuple[list[tuple], int]:
+    """Reclaim holes reaching the segment tail: the segment shrinks
+    instead of recording waste.  Iterates because reclaiming one hole
+    can expose the next."""
+    holes = sorted(holes)
+    while holes and holes[-1][0] + holes[-1][1] >= segment_end:
+        address, size = holes[-1][0], holes[-1][1]
+        if address + size > segment_end:
+            break  # stale hole beyond the segment: drop it below
+        segment_end = address
+        holes.pop()
+    # Drop any hole lying entirely at/above the (possibly shrunk) end.
+    holes = [h for h in holes if h[0] < segment_end]
+    return holes, segment_end
+
+
+def take_hole_below(holes: list[tuple], size: int, limit: int) -> int | None:
+    """First-fit among holes strictly below address ``limit``."""
+    fitting = [
+        i for i, h in enumerate(holes) if h[1] >= size and h[0] + size <= limit
+    ]
+    if not fitting:
+        return None
+    exact = [i for i in fitting if holes[i][1] == size]
+    index = (exact or fitting)[0]
+    address, hole_size, owner, usage = holes.pop(index)
+    if hole_size > size:
+        holes.insert(index, (address + size, hole_size - size, owner, usage))
+    return address
+
+
+def _depth_of(owner: str | None, objects: list[LayoutObject]) -> int:
+    for obj in objects:
+        if obj.function == owner:
+            return obj.depth
+    return 1
+
+
+def _pick_relocation_victim(
+    layout: DataLayout,
+    holes: list[tuple[int, int, str | None]],
+    objects: list[LayoutObject],
+) -> LayoutObject | None:
+    """Eq. 17: over functions with remaining holes, pick the *last*
+    variable of the function maximising ``Depth_j / Usage_j(last)``."""
+    owners = {h[2] for h in holes}
+    best: tuple[float, LayoutObject] | None = None
+    hole_addresses = {h[0] for h in holes}
+    for owner in owners:
+        members = [
+            obj
+            for obj in objects
+            if obj.function == owner
+            and obj.uid in layout.addresses
+            and layout.addresses[obj.uid] not in hole_addresses
+        ]
+        if not members:
+            continue
+        last = max(members, key=lambda o: layout.addresses[o.uid])
+        fits = any(
+            h[1] >= last.size and h[0] + last.size <= layout.addresses[last.uid]
+            for h in holes
+        )
+        if not fits:
+            continue
+        score = last.depth / max(1, last.usage)
+        if best is None or score > best[0]:
+            best = (score, last)
+    return best[1] if best else None

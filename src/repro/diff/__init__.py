@@ -1,0 +1,44 @@
+"""Binary diffing: edit scripts, differ, patcher, packetisation."""
+
+from .differ import BinaryDiff, FunctionDiff, diff_images
+from .edit_script import EditScript, MAX_RUN, Primitive, PrimOp
+from .packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD, Packetisation, packetize
+from .patcher import PatchError, apply_script, patched_words, verify_patch
+
+__all__ = [
+    "BinaryDiff",
+    "DEFAULT_OVERHEAD",
+    "DEFAULT_PAYLOAD",
+    "EditScript",
+    "FunctionDiff",
+    "MAX_RUN",
+    "Packetisation",
+    "PatchError",
+    "PrimOp",
+    "Primitive",
+    "apply_script",
+    "diff_images",
+    "packetize",
+    "patched_words",
+    "verify_patch",
+]
+
+from .data_diff import DataPatch, DataScript, apply_data, diff_data
+
+__all__ += ["DataPatch", "DataScript", "apply_data", "diff_data"]
+
+from .groups import (
+    GROUP_HEADER_BYTES,
+    ScriptGroup,
+    apply_groups,
+    group_script,
+    grouped_words,
+)
+
+__all__ += [
+    "GROUP_HEADER_BYTES",
+    "ScriptGroup",
+    "apply_groups",
+    "group_script",
+    "grouped_words",
+]

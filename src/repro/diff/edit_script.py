@@ -1,0 +1,195 @@
+"""Edit-script primitives (paper §2.2).
+
+The script format follows the paper's description of the four
+primitives it adopts from Reijers & Langendoen [28]:
+
+* ``copy``/``remove`` — one byte each: 2-bit opcode + 6-bit instruction
+  count (longer runs split into multiple primitives);
+* ``insert``/``replace`` — a one-byte header (2-bit opcode + 6-bit
+  instruction count) followed by the instruction words, two bytes per
+  16-bit word.
+
+Scripts serialise to real byte strings so their sizes — the quantity
+the radio pays for — are measured, not estimated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+_COUNT_BITS = 6
+MAX_RUN = (1 << _COUNT_BITS) - 1  # 63
+
+
+class PrimOp(enum.Enum):
+    COPY = 0
+    REMOVE = 1
+    INSERT = 2
+    REPLACE = 3
+
+
+@dataclass
+class Primitive:
+    """One edit primitive.
+
+    ``count`` is the number of *instructions* affected.  For INSERT and
+    REPLACE, ``words`` holds the encoded instruction words, grouped per
+    instruction.
+    """
+
+    op: PrimOp
+    count: int
+    words: tuple[tuple[int, ...], ...] = ()
+
+    def __post_init__(self):
+        if not 1 <= self.count <= MAX_RUN:
+            raise ValueError(f"primitive count {self.count} out of range")
+        if self.op in (PrimOp.INSERT, PrimOp.REPLACE):
+            if len(self.words) != self.count:
+                raise ValueError("insert/replace need words per instruction")
+        elif self.words:
+            raise ValueError("copy/remove carry no payload")
+
+    @property
+    def payload_words(self) -> int:
+        return sum(len(group) for group in self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return 1 + 2 * self.payload_words
+
+    def header_byte(self) -> int:
+        return (self.op.value << _COUNT_BITS) | self.count
+
+
+@dataclass
+class EditScript:
+    """A full update script U: the diff from binary E to binary E'."""
+
+    primitives: list[Primitive] = field(default_factory=list)
+
+    # -- construction ----------------------------------------------------
+
+    def _extend_run(self, op: PrimOp, count: int) -> None:
+        while count > 0:
+            take = min(count, MAX_RUN)
+            self.primitives.append(Primitive(op=op, count=take))
+            count -= take
+
+    def copy(self, count: int) -> None:
+        self._extend_run(PrimOp.COPY, count)
+
+    def remove(self, count: int) -> None:
+        self._extend_run(PrimOp.REMOVE, count)
+
+    def _extend_payload(self, op: PrimOp, groups: list[tuple[int, ...]]) -> None:
+        index = 0
+        while index < len(groups):
+            take = min(len(groups) - index, MAX_RUN)
+            self.primitives.append(
+                Primitive(op=op, count=take, words=tuple(groups[index : index + take]))
+            )
+            index += take
+
+    def insert(self, groups: list[tuple[int, ...]]) -> None:
+        if groups:
+            self._extend_payload(PrimOp.INSERT, groups)
+
+    def replace(self, groups: list[tuple[int, ...]]) -> None:
+        if groups:
+            self._extend_payload(PrimOp.REPLACE, groups)
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.primitives)
+
+    @property
+    def payload_words(self) -> int:
+        """Instruction words transmitted (the E_trans payload)."""
+        return sum(p.payload_words for p in self.primitives)
+
+    @property
+    def transmitted_instructions(self) -> int:
+        """Instructions carried by insert/replace — the paper's
+        ``Diff_inst`` numerator."""
+        return sum(
+            p.count for p in self.primitives if p.op in (PrimOp.INSERT, PrimOp.REPLACE)
+        )
+
+    def primitive_counts(self) -> dict[str, int]:
+        counts = {op.name.lower(): 0 for op in PrimOp}
+        for p in self.primitives:
+            counts[p.op.name.lower()] += 1
+        return counts
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the script only copies (binaries identical)."""
+        return all(p.op is PrimOp.COPY for p in self.primitives)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for p in self.primitives:
+            out.append(p.header_byte())
+            for group in p.words:
+                for word in group:
+                    out += word.to_bytes(2, "little")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, word_sizer=None) -> "EditScript":
+        """Parse a serialised script.
+
+        Because insert/replace payloads are instruction *words* whose
+        per-instruction grouping depends on the opcode, parsing decodes
+        each instruction's first word to learn its size.  ``word_sizer``
+        maps a first word to the instruction's word count; the default
+        uses the ISA's opcode table.
+        """
+        if word_sizer is None:
+            from ..isa.instructions import BY_OPCODE, F_ADDR, F_IMM
+
+            def word_sizer(word: int) -> int:
+                spec = BY_OPCODE.get(word >> 10)
+                if spec is None:
+                    raise ValueError(f"bad opcode in script word {word:#06x}")
+                return 2 if spec.fmt in (F_IMM, F_ADDR) else 1
+
+        script = cls()
+        pos = 0
+        while pos < len(blob):
+            header = blob[pos]
+            pos += 1
+            op = PrimOp(header >> _COUNT_BITS)
+            count = header & MAX_RUN
+            if op in (PrimOp.COPY, PrimOp.REMOVE):
+                script.primitives.append(Primitive(op=op, count=count))
+                continue
+            groups = []
+            for _ in range(count):
+                first = int.from_bytes(blob[pos : pos + 2], "little")
+                size = word_sizer(first)
+                words = [first]
+                pos += 2
+                for _ in range(size - 1):
+                    words.append(int.from_bytes(blob[pos : pos + 2], "little"))
+                    pos += 2
+                groups.append(tuple(words))
+            script.primitives.append(Primitive(op=op, count=count, words=tuple(groups)))
+        return script
+
+    def render(self) -> str:
+        lines = []
+        for p in self.primitives:
+            if p.op in (PrimOp.COPY, PrimOp.REMOVE):
+                lines.append(f"{p.op.name.lower()} {p.count}")
+            else:
+                lines.append(
+                    f"{p.op.name.lower()} {p.count} ({p.payload_words} words)"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Sensor-side patcher: old binary + update script → new binary.
+
+This is the on-mote half of Figure 2 of the paper: the script is
+interpreted against the resident image to rebuild the new one.  The
+patcher works on instruction units (the granularity the script's
+``count`` fields use) and cross-checks the reconstruction when the
+expected image is supplied — the round-trip property
+``apply(old, diff(old, new)) == new`` is pinned by tests.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import BinaryImage
+from .edit_script import EditScript, PrimOp
+
+
+class PatchError(Exception):
+    """Raised when a script does not apply cleanly to the old image."""
+
+
+def apply_script(old: BinaryImage, script: EditScript) -> list[tuple[int, ...]]:
+    """Apply ``script`` to ``old``; returns the new instruction units
+    (tuples of encoded words, one per instruction)."""
+    old_units = [tuple(enc.words) for enc in old.code]
+    out: list[tuple[int, ...]] = []
+    cursor = 0
+    for prim in script.primitives:
+        if prim.op is PrimOp.COPY:
+            if cursor + prim.count > len(old_units):
+                raise PatchError("copy runs past the end of the old image")
+            out.extend(old_units[cursor : cursor + prim.count])
+            cursor += prim.count
+        elif prim.op is PrimOp.REMOVE:
+            if cursor + prim.count > len(old_units):
+                raise PatchError("remove runs past the end of the old image")
+            cursor += prim.count
+        elif prim.op is PrimOp.INSERT:
+            out.extend(prim.words)
+        else:  # REPLACE: consumes old instructions, emits new ones
+            if cursor + prim.count > len(old_units):
+                raise PatchError("replace runs past the end of the old image")
+            cursor += prim.count
+            out.extend(prim.words)
+    if cursor != len(old_units):
+        raise PatchError(
+            f"script consumed {cursor} of {len(old_units)} old instructions"
+        )
+    return out
+
+
+def patched_words(old: BinaryImage, script: EditScript) -> list[int]:
+    """Flat word stream of the patched image."""
+    flat: list[int] = []
+    for unit in apply_script(old, script):
+        flat.extend(unit)
+    return flat
+
+
+def verify_patch(old: BinaryImage, new: BinaryImage, script: EditScript) -> None:
+    """Assert the script rebuilds ``new`` from ``old`` exactly."""
+    rebuilt = patched_words(old, script)
+    expected = new.words()
+    if rebuilt != expected:
+        for index, (got, want) in enumerate(zip(rebuilt, expected)):
+            if got != want:
+                raise PatchError(
+                    f"patched image diverges at word {index}: "
+                    f"{got:#06x} != {want:#06x}"
+                )
+        raise PatchError(
+            f"patched image length {len(rebuilt)} != expected {len(expected)}"
+        )

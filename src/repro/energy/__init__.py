@@ -1,0 +1,12 @@
+"""Energy models: Mica2 power table and the compile-time cost model."""
+
+from .model import DEFAULT_ENERGY_MODEL, EnergyModel, WORD_BITS
+from .power_model import MICA2, PowerModel
+
+__all__ = [
+    "DEFAULT_ENERGY_MODEL",
+    "EnergyModel",
+    "MICA2",
+    "PowerModel",
+    "WORD_BITS",
+]

@@ -1,0 +1,103 @@
+"""The compiler-side energy model (paper §2.1, §5.5).
+
+Works in normalised units: executing one ALU cycle costs 1 unit, and
+transmitting one bit costs ``bit_cost_ratio`` units (default 1000,
+the paper's headline figure [28]).  Everything the update planner and
+the UCC-RA objective need derives from these two numbers:
+
+* ``e_exe(instr)``     — execution energy of one machine instruction,
+* ``e_trans_words(n)`` — dissemination energy of ``n`` instruction
+  words (16 bits each),
+* ``diff_energy``      — eq. 18: ``Diff_inst x E_trans +
+  Diff_cycle x E_exe x Cnt``,
+* ``energy_savings``   — eq. 19: GCC-RA's diff energy minus UCC-RA's.
+
+The paper's worked example — adding one instruction to save one word of
+transmission pays off iff the instruction executes fewer than 16,000
+times (16 bits x 1000) — falls straight out of these definitions and is
+pinned by a unit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD_BITS = 16
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Normalised energy parameters used at compile time."""
+
+    #: Energy units per transmitted bit (units of one ALU cycle).
+    bit_cost_ratio: float = 1000.0
+    #: Cycles charged for an average ALU instruction.
+    alu_cycles: float = 1.0
+    #: Cycles charged for a memory access instruction (LDS/STS/LD/ST).
+    mem_cycles: float = 2.0
+
+    # -- basic quantities ----------------------------------------------------
+
+    @property
+    def e_exe(self) -> float:
+        """Average energy to execute one instruction (paper's E_exe)."""
+        return self.alu_cycles
+
+    @property
+    def e_exe_mem(self) -> float:
+        """Energy to execute one memory-access instruction."""
+        return self.mem_cycles
+
+    @property
+    def e_trans_bit(self) -> float:
+        return self.bit_cost_ratio
+
+    @property
+    def e_trans(self) -> float:
+        """Energy to disseminate one instruction word (paper's E_trans)."""
+        return WORD_BITS * self.bit_cost_ratio
+
+    def e_trans_words(self, words: int) -> float:
+        return words * self.e_trans
+
+    def e_trans_bytes(self, num_bytes: int) -> float:
+        return 8 * num_bytes * self.bit_cost_ratio
+
+    def e_exe_cycles(self, cycles: float) -> float:
+        return cycles * 1.0  # one unit per cycle, by definition
+
+    # -- paper equations 18-19 --------------------------------------------------
+
+    def diff_energy(
+        self, diff_inst_words: int, diff_cycle: float, cnt: float
+    ) -> float:
+        """Eq. 18: energy cost of one update followed by ``cnt`` runs.
+
+        ``diff_inst_words`` is the dissemination payload in instruction
+        words; ``diff_cycle`` the per-run execution-cycle change.
+        """
+        return self.e_trans_words(diff_inst_words) + diff_cycle * cnt
+
+    def energy_savings(
+        self,
+        baseline_words: int,
+        baseline_cycles: float,
+        ucc_words: int,
+        ucc_cycles: float,
+        cnt: float,
+    ) -> float:
+        """Eq. 19: baseline diff-energy minus UCC diff-energy."""
+        return self.diff_energy(baseline_words, baseline_cycles, cnt) - self.diff_energy(
+            ucc_words, ucc_cycles, cnt
+        )
+
+    def breakeven_executions(self, words_saved: int, cycles_added: float) -> float:
+        """How many executions make ``cycles_added`` outweigh saving
+        ``words_saved`` transmitted words (paper §2.1's 16,000 example).
+        """
+        if cycles_added <= 0:
+            return float("inf")
+        return self.e_trans_words(words_saved) / cycles_added
+
+
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,23 @@
+"""0/1 integer programming: model builder, simplex, branch & bound."""
+
+from .branch_bound import SolveResult, SolveStats, solve_branch_bound
+from .model import Constraint, IntegerProgram, LinTerm
+from .scipy_backend import solve_scipy
+from .simplex import LPError, LPResult, SimplexStats, solve_lp
+from .solver import BACKENDS, solve
+
+__all__ = [
+    "BACKENDS",
+    "Constraint",
+    "IntegerProgram",
+    "LPError",
+    "LPResult",
+    "LinTerm",
+    "SimplexStats",
+    "SolveResult",
+    "SolveStats",
+    "solve",
+    "solve_branch_bound",
+    "solve_lp",
+    "solve_scipy",
+]

@@ -1,0 +1,135 @@
+"""Integer-program model builder.
+
+A tiny modelling layer, in the spirit of the LP files the paper feeds to
+LP_solve [2]: named 0/1 variables, linear constraints, a linear
+objective.  The register-allocation model builder
+(:mod:`repro.regalloc.ilp_model`) targets this interface, and both
+solver backends (our own simplex+branch&bound, scipy's HiGHS) consume
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LinTerm:
+    """``coefficient * variable``."""
+
+    coeff: float
+    var: str
+
+
+@dataclass
+class Constraint:
+    """``sum(terms) sense rhs`` with sense one of ``<=``, ``>=``, ``=``."""
+
+    terms: list[LinTerm]
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self):
+        if self.sense not in ("<=", ">=", "="):
+            raise ValueError(f"bad constraint sense {self.sense!r}")
+
+
+@dataclass
+class IntegerProgram:
+    """A 0/1 integer program: minimise ``objective`` over binary vars.
+
+    Variables are referenced by name and created on first use.  A
+    variable may be *fixed* to 0 or 1 (used to pin boundary decisions to
+    the old allocation).  Objectives may carry a constant term (the
+    energy of the changed instructions themselves — eq. 11 — is constant
+    w.r.t. the decisions, and the paper keeps it in the objective).
+    """
+
+    name: str = "ilp"
+    variables: list[str] = field(default_factory=list)
+    _var_index: dict[str, int] = field(default_factory=dict)
+    objective: dict[str, float] = field(default_factory=dict)
+    objective_constant: float = 0.0
+    constraints: list[Constraint] = field(default_factory=list)
+    fixed: dict[str, int] = field(default_factory=dict)
+
+    # -- building ---------------------------------------------------------
+
+    def var(self, name: str) -> str:
+        """Declare (or re-reference) a binary variable."""
+        if name not in self._var_index:
+            self._var_index[name] = len(self.variables)
+            self.variables.append(name)
+        return name
+
+    def fix(self, name: str, value: int) -> None:
+        """Pin a variable to 0 or 1."""
+        if value not in (0, 1):
+            raise ValueError("binary variables can only be fixed to 0 or 1")
+        self.var(name)
+        self.fixed[name] = value
+
+    def add_objective(self, name: str, coeff: float) -> None:
+        self.var(name)
+        self.objective[name] = self.objective.get(name, 0.0) + coeff
+
+    def add_constraint(
+        self,
+        terms: list[tuple[float, str]],
+        sense: str,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        lin = [LinTerm(c, self.var(v)) for c, v in terms if c != 0.0]
+        constraint = Constraint(terms=lin, sense=sense, rhs=rhs, name=name)
+        self.constraints.append(constraint)
+        return constraint
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def evaluate(self, values: dict[str, int]) -> float:
+        """Objective value (including the constant) of an assignment."""
+        total = self.objective_constant
+        for var, coeff in self.objective.items():
+            total += coeff * values.get(var, 0)
+        return total
+
+    def is_feasible(self, values: dict[str, int], tol: float = 1e-9) -> bool:
+        """Does ``values`` satisfy every constraint and fixing?"""
+        for var, val in self.fixed.items():
+            if values.get(var, 0) != val:
+                return False
+        for con in self.constraints:
+            lhs = sum(t.coeff * values.get(t.var, 0) for t in con.terms)
+            if con.sense == "<=" and lhs > con.rhs + tol:
+                return False
+            if con.sense == ">=" and lhs < con.rhs - tol:
+                return False
+            if con.sense == "=" and abs(lhs - con.rhs) > tol:
+                return False
+        return True
+
+    def render_lp(self) -> str:
+        """Render in (a subset of) LP format, for debugging and tests."""
+        lines = ["/* " + self.name + " */", "min:"]
+        obj = " + ".join(
+            f"{coeff:g} {var}" for var, coeff in sorted(self.objective.items())
+        )
+        lines.append("  " + (obj or "0") + ";")
+        for i, con in enumerate(self.constraints):
+            terms = " + ".join(f"{t.coeff:g} {t.var}" for t in con.terms)
+            label = con.name or f"c{i}"
+            lines.append(f"{label}: {terms or '0'} {con.sense} {con.rhs:g};")
+        for var, val in sorted(self.fixed.items()):
+            lines.append(f"fix: {var} = {val};")
+        lines.append("bin " + ", ".join(self.variables) + ";")
+        return "\n".join(lines)

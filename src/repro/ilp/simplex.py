@@ -1,0 +1,221 @@
+"""A dense two-phase primal simplex LP solver.
+
+This is the reproduction's stand-in for the LP engine inside LP_solve
+5.5 [paper ref 2].  It is written for clarity and instrumentation
+rather than speed: every pivot is counted, which is exactly the
+"number of iterations" quantity Figures 14 and 15 of the paper report.
+
+Solves::
+
+    min  c^T x
+    s.t. A_ub x <= b_ub
+         A_eq x  = b_eq
+         0 <= x <= ub
+
+Upper bounds are handled by adding explicit rows (fine at the problem
+sizes the register-allocation models produce for a chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_TOL = 1e-9
+
+
+class LPError(Exception):
+    """Raised on infeasible or unbounded linear programs."""
+
+
+@dataclass
+class LPResult:
+    x: np.ndarray
+    objective: float
+    iterations: int
+    status: str  # "optimal" | "infeasible" | "unbounded"
+
+
+@dataclass
+class SimplexStats:
+    """Cumulative pivot counts across many solves (branch & bound)."""
+
+    iterations: int = 0
+    solves: int = 0
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    a_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    ub: np.ndarray | None = None,
+    stats: SimplexStats | None = None,
+    max_iterations: int = 200_000,
+) -> LPResult:
+    """Solve the LP; raises :class:`LPError` only on internal failure,
+    infeasible/unbounded are reported via ``status``."""
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+
+    rows_a = []
+    rows_b = []
+    senses = []
+    if a_ub is not None and len(a_ub):
+        for row, rhs in zip(np.asarray(a_ub, dtype=float), np.asarray(b_ub, dtype=float)):
+            rows_a.append(row)
+            rows_b.append(rhs)
+            senses.append("<=")
+    if ub is not None:
+        for j, bound in enumerate(np.asarray(ub, dtype=float)):
+            if np.isfinite(bound):
+                row = np.zeros(n)
+                row[j] = 1.0
+                rows_a.append(row)
+                rows_b.append(bound)
+                senses.append("<=")
+    if a_eq is not None and len(a_eq):
+        for row, rhs in zip(np.asarray(a_eq, dtype=float), np.asarray(b_eq, dtype=float)):
+            rows_a.append(row)
+            rows_b.append(rhs)
+            senses.append("=")
+
+    m = len(rows_a)
+    if m == 0:
+        # Unconstrained binary relaxation: minimise by setting x_j = 0
+        # for c_j >= 0; negative costs would be unbounded without ub.
+        if np.any(c < -_TOL):
+            return LPResult(np.zeros(n), 0.0, 0, "unbounded")
+        return LPResult(np.zeros(n), 0.0, 0, "optimal")
+
+    a = np.vstack(rows_a)
+    b = np.asarray(rows_b, dtype=float)
+
+    # Normalise to non-negative rhs.
+    for i in range(m):
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+            senses[i] = {"<=": ">=", ">=": "<=", "=": "="}[senses[i]]
+
+    # Build the phase-1 tableau with slack/surplus/artificial columns.
+    slack_cols = sum(1 for s in senses if s in ("<=", ">="))
+    artificial_rows = [i for i, s in enumerate(senses) if s in (">=", "=")]
+    total = n + slack_cols + len(artificial_rows)
+
+    tableau = np.zeros((m, total))
+    tableau[:, :n] = a
+    basis = [-1] * m
+
+    col = n
+    for i, sense in enumerate(senses):
+        if sense == "<=":
+            tableau[i, col] = 1.0
+            basis[i] = col
+            col += 1
+        elif sense == ">=":
+            tableau[i, col] = -1.0
+            col += 1
+    for i in artificial_rows:
+        tableau[i, col] = 1.0
+        basis[i] = col
+        col += 1
+
+    rhs = b.copy()
+    iterations = 0
+
+    def pivot(tab, rhs_vec, obj, basis_list, col_in, row_out):
+        nonlocal iterations
+        iterations += 1
+        pivot_val = tab[row_out, col_in]
+        tab[row_out] /= pivot_val
+        rhs_vec[row_out] /= pivot_val
+        for r in range(tab.shape[0]):
+            if r != row_out and abs(tab[r, col_in]) > _TOL:
+                factor = tab[r, col_in]
+                tab[r] -= factor * tab[row_out]
+                rhs_vec[r] -= factor * rhs_vec[row_out]
+        if abs(obj[col_in]) > _TOL:
+            factor = obj[col_in]
+            obj[:-1] -= factor * tab[row_out]
+            obj[-1] -= factor * rhs_vec[row_out]
+        basis_list[row_out] = col_in
+
+    def run_phase(tab, rhs_vec, obj, basis_list, allowed_cols):
+        nonlocal iterations
+        while True:
+            if iterations > max_iterations:
+                raise LPError("simplex iteration limit exceeded")
+            # Dantzig rule with Bland fallback under degeneracy.
+            reduced = obj[:-1]
+            candidates = [j for j in allowed_cols if reduced[j] < -_TOL]
+            if not candidates:
+                return
+            col_in = min(candidates, key=lambda j: (reduced[j], j))
+            ratios = []
+            for r in range(tab.shape[0]):
+                if tab[r, col_in] > _TOL:
+                    ratios.append((rhs_vec[r] / tab[r, col_in], basis_list[r], r))
+            if not ratios:
+                raise _Unbounded()
+            ratios.sort()
+            _, _, row_out = ratios[0]
+            pivot(tab, rhs_vec, obj, basis_list, col_in, row_out)
+
+    class _Unbounded(Exception):
+        pass
+
+    # Phase 1: minimise the sum of artificial variables.
+    art_start = total - len(artificial_rows)
+    obj1 = np.zeros(total + 1)
+    obj1[art_start:total] = 1.0  # phase-1 cost: sum of artificials
+    for i in artificial_rows:
+        obj1[:-1] -= tableau[i]
+        obj1[-1] -= rhs[i]
+    allowed = list(range(total))
+    try:
+        run_phase(tableau, rhs, obj1, basis, allowed)
+    except _Unbounded:  # pragma: no cover - phase 1 is always bounded
+        return LPResult(np.zeros(n), 0.0, iterations, "infeasible")
+    if -obj1[-1] > 1e-7:
+        _bump(stats, iterations)
+        return LPResult(np.zeros(n), 0.0, iterations, "infeasible")
+
+    # Drive remaining artificial variables out of the basis.
+    for r in range(m):
+        if basis[r] >= art_start:
+            for j in range(art_start):
+                if abs(tableau[r, j]) > _TOL:
+                    pivot(tableau, rhs, obj1, basis, j, r)
+                    break
+
+    # Phase 2.
+    obj2 = np.zeros(total + 1)
+    obj2[:n] = c
+    for r in range(m):
+        j = basis[r]
+        if j < total and abs(obj2[j]) > _TOL:
+            factor = obj2[j]
+            obj2[:-1] -= factor * tableau[r]
+            obj2[-1] -= factor * rhs[r]
+    allowed = list(range(art_start))
+    try:
+        run_phase(tableau, rhs, obj2, basis, allowed)
+    except _Unbounded:
+        _bump(stats, iterations)
+        return LPResult(np.zeros(n), 0.0, iterations, "unbounded")
+
+    x = np.zeros(total)
+    for r in range(m):
+        if basis[r] < total:
+            x[basis[r]] = rhs[r]
+    _bump(stats, iterations)
+    return LPResult(x[:n], float(np.dot(c, x[:n])), iterations, "optimal")
+
+
+def _bump(stats: SimplexStats | None, iterations: int) -> None:
+    if stats is not None:
+        stats.iterations += iterations
+        stats.solves += 1

@@ -1,0 +1,30 @@
+"""Solver facade: pick a backend, solve, return values + statistics."""
+
+from __future__ import annotations
+
+from .branch_bound import SolveResult, solve_branch_bound
+from .model import IntegerProgram
+from .scipy_backend import solve_scipy
+
+BACKENDS = ("own", "scipy")
+
+
+def solve(
+    problem: IntegerProgram,
+    backend: str = "own",
+    incumbent: dict[str, int] | None = None,
+    node_limit: int = 20_000,
+) -> SolveResult:
+    """Solve a 0/1 integer program.
+
+    ``backend="own"`` uses the instrumented pure-Python simplex +
+    branch & bound (iteration counts available); ``backend="scipy"``
+    uses HiGHS via :mod:`scipy.optimize` (fast, no pivot counts).
+    ``incumbent`` warm-starts the own backend (e.g. with the
+    preferred-register greedy allocation).
+    """
+    if backend == "own":
+        return solve_branch_bound(problem, incumbent=incumbent, node_limit=node_limit)
+    if backend == "scipy":
+        return solve_scipy(problem)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

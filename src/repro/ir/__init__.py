@@ -1,0 +1,51 @@
+"""Three-address IR: instructions, lowering, CFG, and liveness."""
+
+from .builder import IRBuilder, build_ir
+from .cfg import CFG, BasicBlock, build_cfg, loop_depths, static_frequencies
+from .function import IRFunction, IRModule
+from .instructions import (
+    BINARY_OPS,
+    COMPARISONS,
+    IRInstr,
+    IROp,
+    Imm,
+    Label,
+    MemRef,
+    TERMINATORS,
+    UNARY_OPS,
+    VReg,
+)
+from .liveness import LiveInterval, LivenessInfo, analyze, interference_pairs
+from .unparse import render_expr, render_stmt_header
+
+__all__ = [
+    "BINARY_OPS",
+    "BasicBlock",
+    "CFG",
+    "COMPARISONS",
+    "IRBuilder",
+    "IRFunction",
+    "IRInstr",
+    "IRModule",
+    "IROp",
+    "Imm",
+    "Label",
+    "LiveInterval",
+    "LivenessInfo",
+    "MemRef",
+    "TERMINATORS",
+    "UNARY_OPS",
+    "VReg",
+    "analyze",
+    "build_cfg",
+    "build_ir",
+    "interference_pairs",
+    "loop_depths",
+    "render_expr",
+    "render_stmt_header",
+    "static_frequencies",
+]
+
+from .interp import IRInterpError, IRInterpreter, IRRunResult, run_ir
+
+__all__ += ["IRInterpError", "IRInterpreter", "IRRunResult", "run_ir"]

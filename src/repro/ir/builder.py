@@ -1,0 +1,526 @@
+"""AST → IR lowering.
+
+Lowering conventions (see also :mod:`repro.ir.instructions`):
+
+* scalar locals and parameters live in *named* virtual registers keyed
+  by their semantic symbol uid;
+* scalar globals stay memory-resident and every access is an explicit
+  ``LOADG``/``STOREG``;
+* arrays (global or local) are memory-resident and accessed through
+  ``LOADIDX``/``STOREIDX``;
+* expression temporaries are numbered from zero *within each source
+  statement* and every emitted instruction records the statement's id
+  and normalised text (chunk matching relies on this);
+* short-circuit ``&&``/``||`` and comparison conditions lower directly
+  to conditional branches where possible.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.errors import SemanticError
+from ..lang.sema import CheckedProgram, Symbol, SymbolKind
+from ..lang.types import Type, U8, U16
+from .instructions import (
+    COMPARISONS,
+    IRInstr,
+    IROp,
+    Imm,
+    Label,
+    MemRef,
+    NEGATED_COMPARISON,
+    VReg,
+)
+from .function import IRFunction, IRModule
+from .unparse import render_stmt_header
+
+_BINOP_TO_IR = {
+    "+": IROp.ADD,
+    "-": IROp.SUB,
+    "*": IROp.MUL,
+    "/": IROp.DIV,
+    "%": IROp.MOD,
+    "&": IROp.AND,
+    "|": IROp.OR,
+    "^": IROp.XOR,
+    "<<": IROp.SHL,
+    ">>": IROp.SHR,
+    "==": IROp.CMPEQ,
+    "!=": IROp.CMPNE,
+    "<": IROp.CMPLT,
+    "<=": IROp.CMPLE,
+    ">": IROp.CMPGT,
+    ">=": IROp.CMPGE,
+}
+
+#: builtin name -> device port name (addresses assigned in repro.isa).
+BUILTIN_PORTS = {
+    "led_set": "led",
+    "led_get": "led",
+    "radio_send": "radio",
+    "adc_read": "adc",
+    "timer_fired": "timer",
+}
+
+
+class IRBuilder:
+    """Lowers a checked program to an :class:`IRModule`."""
+
+    def __init__(self, checked: CheckedProgram):
+        self.checked = checked
+        self.module = IRModule(checked=checked)
+
+    def build(self) -> IRModule:
+        for name, checked_fn in self.checked.functions.items():
+            lowering = _FunctionLowering(self, checked_fn)
+            self.module.functions[name] = lowering.lower()
+        return self.module
+
+    # -- symbol classification --------------------------------------------
+
+    def symbol_for(self, name: str, fn: "._FunctionLowering") -> Symbol:
+        sym = fn.lookup(name)
+        if sym is not None:
+            return sym
+        return self.checked.global_symbol(name)
+
+
+class _FunctionLowering:
+    """Per-function lowering state."""
+
+    def __init__(self, builder: IRBuilder, checked_fn):
+        self.builder = builder
+        self.checked_fn = checked_fn
+        definition = checked_fn.definition
+        self.fn = IRFunction(name=definition.name, return_type=definition.return_type)
+        self.temp_counter = 0
+        self.label_counter = 0
+        self.stmt_counter = 0
+        self.current_stmt_id = -1
+        self.current_stmt_text = ""
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break) labels
+        # name -> Symbol for params/locals visible in this function.  ucc-C
+        # scoping was validated by sema; lowering keys by name with the
+        # last declaration winning inside its region, which is sufficient
+        # because sema gave shadowed locals distinct uids in order.
+        self._symbols: dict[str, Symbol] = {}
+        self._shadow_stack: list[dict[str, Symbol | None]] = []
+        # Sema records locals in declaration-walk order, which matches the
+        # lowering walk; this cursor pairs each DeclStmt with its Symbol.
+        self._local_decl_index = 0
+        for sym in checked_fn.params:
+            self._symbols[sym.name] = sym
+
+    # -- plumbing -----------------------------------------------------------
+
+    def lookup(self, name: str) -> Symbol | None:
+        return self._symbols.get(name)
+
+    def new_temp(self, ctype: Type) -> VReg:
+        reg = VReg(f"${self.current_stmt_id}.{self.temp_counter}", ctype)
+        self.temp_counter += 1
+        return reg
+
+    def new_label(self) -> Label:
+        label = Label(f"L{self.label_counter}")
+        self.label_counter += 1
+        return label
+
+    def emit(self, op: IROp, dst: VReg | None = None, *args) -> IRInstr:
+        instr = IRInstr(
+            op=op,
+            dst=dst,
+            args=tuple(args),
+            stmt_id=self.current_stmt_id,
+            stmt_text=self.current_stmt_text,
+        )
+        return self.fn.append(instr)
+
+    def place_label(self, label: Label) -> None:
+        self.emit(IROp.LABEL, None, label)
+
+    def begin_stmt(self, stmt: ast.Stmt) -> None:
+        self.stmt_counter += 1
+        self.current_stmt_id = self.stmt_counter
+        self.current_stmt_text = render_stmt_header(stmt)
+        self.temp_counter = 0
+
+    # -- function driver ------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        definition = self.checked_fn.definition
+        for sym in self.checked_fn.params:
+            self.fn.param_vregs.append(VReg(sym.uid, sym.ctype))
+        self.lower_block(definition.body)
+        # Guarantee a terminator at the end of every function.
+        if not self.fn.instrs or not self.fn.instrs[-1].is_terminator:
+            self.current_stmt_id = -1
+            self.current_stmt_text = "<implicit-return>"
+            if definition.return_type.is_void:
+                self.emit(IROp.RET)
+            else:
+                self.emit(IROp.RET, None, Imm(0, definition.return_type))
+        return self.fn
+
+    # -- statements --------------------------------------------------------------
+
+    def lower_block(self, block: ast.Block) -> None:
+        shadowed: dict[str, Symbol | None] = {}
+        self._shadow_stack.append(shadowed)
+        for stmt in block.statements:
+            self.lower_stmt(stmt)
+        self._shadow_stack.pop()
+        for name, old in shadowed.items():
+            if old is None:
+                self._symbols.pop(name, None)
+            else:
+                self._symbols[name] = old
+
+    def _declare(self, stmt: ast.DeclStmt) -> Symbol:
+        symbol = self.checked_fn.locals[self._local_decl_index]
+        self._local_decl_index += 1
+        assert symbol.name == stmt.name, "decl order mismatch with sema"
+        if self._shadow_stack:
+            self._shadow_stack[-1].setdefault(
+                stmt.name, self._symbols.get(stmt.name)
+            )
+        self._symbols[stmt.name] = symbol
+        return symbol
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+            return
+        self.begin_stmt(stmt)
+        if isinstance(stmt, ast.DeclStmt):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, ast.AssignStmt):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.IfStmt):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.emit(IROp.RET)
+            else:
+                value = self.lower_expr(stmt.value)
+                self.emit(IROp.RET, None, value)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loop_stack:
+                raise SemanticError("break outside loop", stmt.location)
+            self.emit(IROp.JUMP, None, Label(self.loop_stack[-1][1]))
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loop_stack:
+                raise SemanticError("continue outside loop", stmt.location)
+            self.emit(IROp.JUMP, None, Label(self.loop_stack[-1][0]))
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot lower {type(stmt).__name__}", stmt.location)
+
+    def lower_decl(self, stmt: ast.DeclStmt) -> None:
+        symbol = self._declare(stmt)
+        if symbol.ctype.is_array:
+            self.fn.local_arrays.append(symbol)
+            ref = MemRef(symbol.uid, symbol.ctype)
+            if stmt.init_list is not None:
+                element = symbol.ctype.element_type()
+                for idx, expr in enumerate(stmt.init_list):
+                    value = self.lower_expr(expr)
+                    value = self.coerce(value, element)
+                    self.emit(IROp.STOREIDX, None, ref, Imm(idx, U8), value)
+            return
+        dest = VReg(symbol.uid, symbol.ctype)
+        if stmt.init is not None:
+            self.lower_expr_into(stmt.init, dest)
+        else:
+            self.emit(IROp.MOV, dest, Imm(0, symbol.ctype))
+
+    def lower_assign(self, stmt: ast.AssignStmt) -> None:
+        target = stmt.target
+        if isinstance(target, ast.NameRef):
+            symbol = self.builder.symbol_for(target.name, self)
+            if symbol.kind is SymbolKind.GLOBAL:
+                self._assign_global(stmt, symbol)
+            else:
+                self._assign_register(stmt, symbol)
+        elif isinstance(target, ast.IndexExpr):
+            self._assign_element(stmt, target)
+        else:  # pragma: no cover - parser enforces assignability
+            raise SemanticError("bad assignment target", stmt.location)
+
+    def _assign_register(self, stmt: ast.AssignStmt, symbol: Symbol) -> None:
+        dest = VReg(symbol.uid, symbol.ctype)
+        if not stmt.op:
+            self.lower_expr_into(stmt.value, dest)
+            return
+        value = self.lower_expr(stmt.value)
+        value = self.coerce(value, symbol.ctype)
+        self.emit(_BINOP_TO_IR[stmt.op], dest, dest, value)
+
+    def _assign_global(self, stmt: ast.AssignStmt, symbol: Symbol) -> None:
+        ref = MemRef(symbol.uid, symbol.ctype)
+        if not stmt.op:
+            value = self.lower_expr(stmt.value)
+            value = self.coerce(value, symbol.ctype)
+            self.emit(IROp.STOREG, None, ref, value)
+            return
+        current = self.new_temp(symbol.ctype)
+        self.emit(IROp.LOADG, current, ref)
+        value = self.lower_expr(stmt.value)
+        value = self.coerce(value, symbol.ctype)
+        result = self.new_temp(symbol.ctype)
+        self.emit(_BINOP_TO_IR[stmt.op], result, current, value)
+        self.emit(IROp.STOREG, None, ref, result)
+
+    def _assign_element(self, stmt: ast.AssignStmt, target: ast.IndexExpr) -> None:
+        if not isinstance(target.base, ast.NameRef):  # pragma: no cover
+            raise SemanticError("only direct array names can be indexed", stmt.location)
+        symbol = self.builder.symbol_for(target.base.name, self)
+        element = symbol.ctype.element_type()
+        ref = MemRef(symbol.uid, symbol.ctype)
+        index = self.lower_operand(target.index)
+        if not stmt.op:
+            value = self.lower_expr(stmt.value)
+            value = self.coerce(value, element)
+            self.emit(IROp.STOREIDX, None, ref, index, value)
+            return
+        current = self.new_temp(element)
+        self.emit(IROp.LOADIDX, current, ref, index)
+        value = self.lower_expr(stmt.value)
+        value = self.coerce(value, element)
+        result = self.new_temp(element)
+        self.emit(_BINOP_TO_IR[stmt.op], result, current, value)
+        self.emit(IROp.STOREIDX, None, ref, index, result)
+
+    # -- control flow -------------------------------------------------------------
+
+    def lower_if(self, stmt: ast.IfStmt) -> None:
+        then_label = self.new_label()
+        else_label = self.new_label()
+        end_label = self.new_label() if stmt.else_body is not None else else_label
+        self.lower_condition(stmt.cond, then_label, else_label)
+        self.place_label(then_label)
+        self.lower_block(stmt.then_body)
+        if stmt.else_body is not None:
+            self.begin_stmt(stmt)  # branch back carries the if's identity
+            self.emit(IROp.JUMP, None, end_label)
+            self.place_label(else_label)
+            self.lower_block(stmt.else_body)
+            self.place_label(end_label)
+        else:
+            self.place_label(end_label)
+
+    def lower_while(self, stmt: ast.WhileStmt) -> None:
+        head = self.new_label()
+        body = self.new_label()
+        exit_label = self.new_label()
+        self.place_label(head)
+        self.lower_condition(stmt.cond, body, exit_label)
+        self.place_label(body)
+        self.loop_stack.append((head.name, exit_label.name))
+        self.lower_block(stmt.body)
+        self.loop_stack.pop()
+        self.begin_stmt(stmt)
+        self.emit(IROp.JUMP, None, head)
+        self.place_label(exit_label)
+
+    def lower_for(self, stmt: ast.ForStmt) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+            self.begin_stmt(stmt)
+        head = self.new_label()
+        body = self.new_label()
+        step_label = self.new_label()
+        exit_label = self.new_label()
+        self.place_label(head)
+        if stmt.cond is not None:
+            self.lower_condition(stmt.cond, body, exit_label)
+        self.place_label(body)
+        self.loop_stack.append((step_label.name, exit_label.name))
+        self.lower_block(stmt.body)
+        self.loop_stack.pop()
+        self.place_label(step_label)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+            self.begin_stmt(stmt)
+        self.emit(IROp.JUMP, None, head)
+        self.place_label(exit_label)
+
+    def lower_condition(self, cond: ast.Expr, true_label: Label, false_label: Label) -> None:
+        """Lower ``cond`` as a branch to ``true_label``/``false_label``."""
+        if isinstance(cond, ast.UnaryExpr) and cond.op == "!":
+            self.lower_condition(cond.operand, false_label, true_label)
+            return
+        if isinstance(cond, ast.BinaryExpr) and cond.op == "&&":
+            middle = self.new_label()
+            self.lower_condition(cond.left, middle, false_label)
+            self.place_label(middle)
+            self.lower_condition(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.BinaryExpr) and cond.op == "||":
+            middle = self.new_label()
+            self.lower_condition(cond.left, true_label, middle)
+            self.place_label(middle)
+            self.lower_condition(cond.right, true_label, false_label)
+            return
+        value = self.lower_expr(cond)
+        self.emit(IROp.CBR, None, value, true_label, false_label)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def lower_operand(self, expr: ast.Expr):
+        """Lower to a VReg or Imm operand (constants stay immediate)."""
+        if isinstance(expr, ast.IntLiteral):
+            return Imm(expr.value, expr.ctype or U8)
+        if isinstance(expr, ast.CastExpr) and isinstance(expr.operand, ast.IntLiteral):
+            return Imm(expr.operand.value, expr.target)
+        return self.lower_expr(expr)
+
+    def lower_expr(self, expr: ast.Expr, want_value: bool = True) -> VReg | Imm | None:
+        """Lower an expression; returns its value operand.
+
+        With ``want_value=False`` (expression statements) the result is
+        discarded and void calls are allowed.
+        """
+        if isinstance(expr, ast.IntLiteral):
+            return Imm(expr.value, expr.ctype or U8)
+        if isinstance(expr, ast.NameRef):
+            symbol = self.builder.symbol_for(expr.name, self)
+            if symbol.kind is SymbolKind.GLOBAL:
+                dest = self.new_temp(symbol.ctype)
+                self.emit(IROp.LOADG, dest, MemRef(symbol.uid, symbol.ctype))
+                return dest
+            return VReg(symbol.uid, symbol.ctype)
+        if isinstance(expr, ast.IndexExpr):
+            assert isinstance(expr.base, ast.NameRef)
+            symbol = self.builder.symbol_for(expr.base.name, self)
+            index = self.lower_operand(expr.index)
+            dest = self.new_temp(symbol.ctype.element_type())
+            self.emit(IROp.LOADIDX, dest, MemRef(symbol.uid, symbol.ctype), index)
+            return dest
+        if isinstance(expr, ast.CastExpr):
+            value = self.lower_expr(expr.operand)
+            return self.coerce(value, expr.target)
+        if isinstance(expr, ast.UnaryExpr):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr, want_value)
+        raise SemanticError(
+            f"cannot lower expression {type(expr).__name__}", expr.location
+        )  # pragma: no cover
+
+    def lower_expr_into(self, expr: ast.Expr, dest: VReg) -> None:
+        """Lower ``expr`` writing the result directly into ``dest``."""
+        if isinstance(expr, ast.BinaryExpr) and expr.op in _BINOP_TO_IR:
+            left = self.lower_operand(expr.left)
+            right = self.lower_operand(expr.right)
+            self.emit(_BINOP_TO_IR[expr.op], dest, left, right)
+            return
+        if isinstance(expr, ast.UnaryExpr) and expr.op in ("-", "~"):
+            operand = self.lower_operand(expr.operand)
+            op = IROp.NEG if expr.op == "-" else IROp.NOT
+            self.emit(op, dest, operand)
+            return
+        value = self.lower_expr(expr)
+        value = self.coerce(value, dest.ctype)
+        if isinstance(value, VReg) and value.name == dest.name:
+            return
+        self.emit(IROp.MOV, dest, value)
+
+    def _lower_unary(self, expr: ast.UnaryExpr):
+        if expr.op == "!":
+            operand = self.lower_operand(expr.operand)
+            dest = self.new_temp(U8)
+            self.emit(IROp.CMPEQ, dest, operand, Imm(0, U8))
+            return dest
+        operand = self.lower_operand(expr.operand)
+        dest = self.new_temp(expr.ctype or U8)
+        self.emit(IROp.NEG if expr.op == "-" else IROp.NOT, dest, operand)
+        return dest
+
+    def _lower_binary(self, expr: ast.BinaryExpr):
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        left = self.lower_operand(expr.left)
+        right = self.lower_operand(expr.right)
+        dest = self.new_temp(expr.ctype or U8)
+        self.emit(_BINOP_TO_IR[expr.op], dest, left, right)
+        return dest
+
+    def _lower_short_circuit(self, expr: ast.BinaryExpr) -> VReg:
+        dest = self.new_temp(U8)
+        true_label = self.new_label()
+        false_label = self.new_label()
+        end_label = self.new_label()
+        self.lower_condition(expr, true_label, false_label)
+        self.place_label(true_label)
+        self.emit(IROp.MOV, dest, Imm(1, U8))
+        self.emit(IROp.JUMP, None, end_label)
+        self.place_label(false_label)
+        self.emit(IROp.MOV, dest, Imm(0, U8))
+        self.place_label(end_label)
+        return dest
+
+    def _lower_call(self, expr: ast.CallExpr, want_value: bool):
+        from ..lang.sema import BUILTINS
+
+        signature = BUILTINS.get(expr.callee)
+        if signature is not None:
+            return self._lower_builtin(expr, want_value)
+        args = [self.lower_operand(a) for a in expr.args]
+        fn_sig = self.builder.checked.functions[expr.callee].signature
+        if fn_sig.return_type.is_void or not want_value:
+            self.emit(IROp.CALL, None, expr.callee, *args)
+            return None
+        dest = self.new_temp(fn_sig.return_type)
+        self.emit(IROp.CALL, dest, expr.callee, *args)
+        return dest
+
+    def _lower_builtin(self, expr: ast.CallExpr, want_value: bool):
+        name = expr.callee
+        if name == "halt":
+            self.emit(IROp.HALT)
+            return None
+        port = BUILTIN_PORTS[name]
+        if name in ("led_set",):
+            value = self.lower_operand(expr.args[0])
+            self.emit(IROp.IOWRITE, None, port, value)
+            return None
+        if name == "radio_send":
+            value = self.lower_operand(expr.args[0])
+            self.emit(IROp.IOWRITE, None, port, value)
+            if want_value:
+                dest = self.new_temp(U16)
+                self.emit(IROp.MOV, dest, value)
+                return dest
+            return None
+        # led_get / adc_read / timer_fired
+        result_type = {"led_get": U8, "adc_read": U16, "timer_fired": U8}[name]
+        dest = self.new_temp(result_type)
+        self.emit(IROp.IOREAD, dest, port)
+        return dest
+
+    # -- coercions -------------------------------------------------------------------
+
+    def coerce(self, value, target: Type):
+        """Convert ``value`` to ``target`` width, emitting CAST if needed."""
+        if isinstance(value, Imm):
+            return Imm(value.value & target.max_value, target)
+        if value is None:
+            raise SemanticError("void value used", None)
+        if value.ctype == target:
+            return value
+        dest = self.new_temp(target)
+        self.emit(IROp.CAST, dest, value)
+        return dest
+
+
+def build_ir(checked: CheckedProgram) -> IRModule:
+    """Lower a checked program to IR."""
+    return IRBuilder(checked).build()

@@ -1,0 +1,155 @@
+"""Control-flow graph over linear IR.
+
+Basic blocks are index ranges into the function's instruction list.
+The CFG is consumed by liveness analysis, the optimizer (jump threading,
+unreachable-code removal), and the loop-depth estimator that seeds
+``freq(s)`` when no dynamic profile is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .function import IRFunction
+from .instructions import IROp
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line region ``instrs[start:end]``."""
+
+    index: int
+    start: int
+    end: int  # exclusive
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one IR function."""
+
+    function: IRFunction
+    blocks: list[BasicBlock] = field(default_factory=list)
+    #: instruction index -> block index
+    block_of: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def successors_of_instr(self, idx: int) -> list[int]:
+        """Instruction indices that may execute after ``idx``."""
+        instrs = self.function.instrs
+        ins = instrs[idx]
+        block = self.blocks[self.block_of[idx]]
+        if idx + 1 < block.end and not ins.is_terminator:
+            return [idx + 1]
+        result = []
+        for succ in block.successors:
+            result.append(self.blocks[succ].start)
+        return result
+
+
+def build_cfg(fn: IRFunction) -> CFG:
+    """Split ``fn`` into basic blocks and connect the edges."""
+    instrs = fn.instrs
+    labels = fn.labels()
+
+    # Block leaders: index 0, every label, every instruction following a
+    # terminator.
+    leaders = {0} if instrs else set()
+    for idx, ins in enumerate(instrs):
+        if ins.op is IROp.LABEL:
+            leaders.add(idx)
+        if ins.is_terminator and idx + 1 < len(instrs):
+            leaders.add(idx + 1)
+
+    ordered = sorted(leaders)
+    cfg = CFG(function=fn)
+    for block_index, start in enumerate(ordered):
+        end = ordered[block_index + 1] if block_index + 1 < len(ordered) else len(instrs)
+        block = BasicBlock(index=block_index, start=start, end=end)
+        cfg.blocks.append(block)
+        for idx in range(start, end):
+            cfg.block_of[idx] = block_index
+
+    label_block = {
+        name: cfg.block_of[idx] for name, idx in labels.items()
+    }
+
+    for block in cfg.blocks:
+        if block.start == block.end:
+            continue
+        last = instrs[block.end - 1]
+        succs: list[int] = []
+        if last.op is IROp.JUMP:
+            succs = [label_block[last.args[0].name]]
+        elif last.op is IROp.CBR:
+            succs = [label_block[a.name] for a in last.args[1:]]
+        elif last.op in (IROp.RET, IROp.HALT):
+            succs = []
+        else:
+            if block.index + 1 < len(cfg.blocks):
+                succs = [block.index + 1]
+        block.successors = succs
+        for succ in succs:
+            cfg.blocks[succ].predecessors.append(block.index)
+    return cfg
+
+
+def reachable_blocks(cfg: CFG) -> set[int]:
+    """Blocks reachable from the entry."""
+    if not cfg.blocks:
+        return set()
+    seen = {0}
+    stack = [0]
+    while stack:
+        block = cfg.blocks[stack.pop()]
+        for succ in block.successors:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def loop_depths(cfg: CFG) -> dict[int, int]:
+    """Approximate loop nesting depth per block.
+
+    A back edge is an edge to a block with a smaller start index (our
+    lowering emits loop headers before bodies, so this identifies the
+    natural loops the front end produces).  Used to seed static
+    execution-frequency estimates (``freq(s)`` in the paper's objective)
+    when no dynamic profile is supplied.
+    """
+    depths = {block.index: 0 for block in cfg.blocks}
+    # Collect loop ranges [header_block, latch_block] from back edges.
+    loops = []
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if succ <= block.index:
+                loops.append((succ, block.index))
+    for header, latch in loops:
+        for idx in range(header, latch + 1):
+            depths[idx] += 1
+    return depths
+
+
+def static_frequencies(fn: IRFunction, loop_weight: float = 10.0) -> dict[int, float]:
+    """Static per-instruction execution frequency estimate.
+
+    Each loop nesting level multiplies the base frequency by
+    ``loop_weight``, the classic compiler heuristic.  Keys are
+    instruction indices.
+    """
+    cfg = build_cfg(fn)
+    depths = loop_depths(cfg)
+    freqs: dict[int, float] = {}
+    for block in cfg.blocks:
+        weight = loop_weight ** depths[block.index]
+        for idx in block.instruction_indices():
+            freqs[idx] = weight
+    return freqs

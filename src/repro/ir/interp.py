@@ -1,0 +1,250 @@
+"""Reference interpreter for the three-address IR.
+
+Executes an :class:`~repro.ir.function.IRModule` directly — no register
+allocation, no code generation — providing the semantic baseline the
+back end is tested against: for any program, machine-level execution
+must observe exactly what IR-level execution observes.  Each
+compilation stage can therefore be validated independently:
+
+* source oracle  vs  IR interpreter  → front end + optimizer,
+* IR interpreter vs  machine simulator → allocator + selector +
+  assembler + simulator.
+
+The interpreter models the same device surface as the machine simulator
+(:mod:`repro.sim.devices`), so observations are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.sema import CheckedProgram
+from ..sim.devices import DeviceBoard
+from .function import IRFunction, IRModule
+from .instructions import IRInstr, IROp, Imm, MemRef, VReg
+
+
+class IRInterpError(Exception):
+    """Raised on invalid IR execution (undefined vreg, bad index...)."""
+
+
+@dataclass
+class IRRunResult:
+    """Observations of one IR-level run."""
+
+    steps: int
+    halted: bool
+    devices: DeviceBoard
+    globals: dict[str, int] = field(default_factory=dict)
+
+
+def _mask(value: int, ctype) -> int:
+    return value & ctype.max_value
+
+
+class IRInterpreter:
+    """Executes an IR module starting at ``main``."""
+
+    def __init__(self, module: IRModule, devices: DeviceBoard | None = None):
+        self.module = module
+        self.devices = devices or DeviceBoard()
+        self.steps = 0
+        self.halted = False
+        # memory-resident state: global scalars, arrays (global+local)
+        self.memory: dict[str, object] = {}
+        self._init_globals(module.checked)
+        for fn in module.functions.values():
+            for sym in fn.local_arrays:
+                self.memory[sym.uid] = [0] * sym.ctype.array_length
+
+    def _init_globals(self, checked: CheckedProgram) -> None:
+        for sym in checked.globals:
+            value = checked.global_inits.get(sym.name, 0)
+            if sym.ctype.is_array:
+                self.memory[sym.uid] = list(value)
+            else:
+                self.memory[sym.uid] = value
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, max_steps: int = 5_000_000) -> IRRunResult:
+        self.call_function("main", [], max_steps)
+        scalars = {
+            sym.name: self.memory[sym.uid]
+            for sym in self.module.globals
+            if not sym.ctype.is_array
+        }
+        return IRRunResult(
+            steps=self.steps,
+            halted=self.halted,
+            devices=self.devices,
+            globals=scalars,
+        )
+
+    def call_function(self, name: str, args: list[int], max_steps: int) -> int | None:
+        fn = self.module.functions[name]
+        env: dict[str, int] = {}
+        for reg, value in zip(fn.param_vregs, args):
+            env[reg.name] = _mask(value, reg.ctype)
+        labels = fn.labels()
+        pc = 0
+        while pc < len(fn.instrs):
+            if self.halted:
+                return None
+            if self.steps >= max_steps:
+                return None
+            self.steps += 1
+            ins = fn.instrs[pc]
+            outcome = self._execute(ins, env, max_steps)
+            if outcome is None:
+                pc += 1
+            elif outcome[0] == "jump":
+                pc = labels[outcome[1]]
+            elif outcome[0] == "ret":
+                return outcome[1]
+            else:  # pragma: no cover
+                raise IRInterpError(f"bad outcome {outcome}")
+        return None
+
+    # -- helpers -------------------------------------------------------------
+
+    def _value(self, operand, env: dict[str, int]) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, VReg):
+            if operand.name not in env:
+                raise IRInterpError(f"read of undefined vreg {operand.name}")
+            return env[operand.name]
+        raise IRInterpError(f"cannot evaluate operand {operand!r}")
+
+    def _execute(self, ins: IRInstr, env: dict[str, int], max_steps: int):
+        from ..lang.sema import _eval_binop
+
+        op = ins.op
+        if op is IROp.LABEL:
+            return None
+        if op is IROp.MOV:
+            env[ins.dst.name] = _mask(self._value(ins.args[0], env), ins.dst.ctype)
+            return None
+        if op is IROp.CAST:
+            env[ins.dst.name] = _mask(self._value(ins.args[0], env), ins.dst.ctype)
+            return None
+        if op is IROp.NEG:
+            env[ins.dst.name] = _mask(-self._value(ins.args[0], env), ins.dst.ctype)
+            return None
+        if op is IROp.NOT:
+            env[ins.dst.name] = _mask(~self._value(ins.args[0], env), ins.dst.ctype)
+            return None
+
+        binops = {
+            IROp.ADD: "+", IROp.SUB: "-", IROp.MUL: "*", IROp.DIV: "/",
+            IROp.MOD: "%", IROp.AND: "&", IROp.OR: "|", IROp.XOR: "^",
+            IROp.SHL: "<<", IROp.SHR: ">>",
+            IROp.CMPEQ: "==", IROp.CMPNE: "!=", IROp.CMPLT: "<",
+            IROp.CMPLE: "<=", IROp.CMPGT: ">", IROp.CMPGE: ">=",
+        }
+        if op in binops:
+            left = self._value(ins.args[0], env)
+            right = self._value(ins.args[1], env)
+            mask = ins.dst.ctype.max_value
+            try:
+                result = _eval_binop(binops[op], left, right, mask)
+            except ZeroDivisionError:
+                # match the machine's documented div-by-zero behaviour
+                result = mask if op is IROp.DIV else left
+            env[ins.dst.name] = result & mask
+            return None
+
+        if op is IROp.LOADG:
+            ref: MemRef = ins.args[0]
+            env[ins.dst.name] = _mask(self.memory[ref.symbol], ins.dst.ctype)
+            return None
+        if op is IROp.STOREG:
+            ref = ins.args[0]
+            self.memory[ref.symbol] = _mask(
+                self._value(ins.args[1], env), ref.ctype
+            )
+            return None
+        if op is IROp.LOADIDX:
+            ref, index_op = ins.args
+            index = self._value(index_op, env)
+            array = self.memory[ref.symbol]
+            if not 0 <= index < len(array):
+                raise IRInterpError(
+                    f"index {index} out of bounds for {ref.symbol}[{len(array)}]"
+                )
+            env[ins.dst.name] = array[index]
+            return None
+        if op is IROp.STOREIDX:
+            ref, index_op, value_op = ins.args
+            index = self._value(index_op, env)
+            array = self.memory[ref.symbol]
+            if not 0 <= index < len(array):
+                raise IRInterpError(
+                    f"index {index} out of bounds for {ref.symbol}[{len(array)}]"
+                )
+            array[index] = _mask(
+                self._value(value_op, env), ref.ctype.element_type()
+            )
+            return None
+
+        if op is IROp.JUMP:
+            return ("jump", ins.args[0].name)
+        if op is IROp.CBR:
+            cond = self._value(ins.args[0], env)
+            target = ins.args[1] if cond else ins.args[2]
+            return ("jump", target.name)
+        if op is IROp.CALL:
+            callee = ins.args[0]
+            args = [self._value(a, env) for a in ins.args[1:]]
+            result = self.call_function(callee, args, max_steps)
+            if ins.dst is not None:
+                env[ins.dst.name] = _mask(result or 0, ins.dst.ctype)
+            return None
+        if op is IROp.RET:
+            value = self._value(ins.args[0], env) if ins.args else None
+            return ("ret", value)
+        if op is IROp.IOREAD:
+            env[ins.dst.name] = self._read_port(ins.args[0], ins.dst)
+            return None
+        if op is IROp.IOWRITE:
+            self._write_port(ins.args[0], self._value(ins.args[1], env))
+            return None
+        if op is IROp.HALT:
+            self.halted = True
+            return None
+        raise IRInterpError(f"cannot interpret {ins}")  # pragma: no cover
+
+    def _read_port(self, port: str, dst: VReg) -> int:
+        from ..isa import devices as ports
+
+        if port == "timer":
+            # IR steps stand in for cycles when driving the poll timer.
+            return self.devices.io_read(ports.PORT_TIMER, self.steps)
+        if port == "led":
+            return self.devices.io_read(ports.PORT_LED, self.steps)
+        if port == "adc":
+            low = self.devices.io_read(ports.PORT_ADC_LO, self.steps)
+            high = self.devices.io_read(ports.PORT_ADC_HI, self.steps)
+            return _mask(low | (high << 8), dst.ctype)
+        raise IRInterpError(f"cannot read port {port!r}")
+
+    def _write_port(self, port: str, value: int) -> None:
+        from ..isa import devices as ports
+
+        if port == "led":
+            self.devices.io_write(ports.PORT_LED, value & 0xFF)
+        elif port == "radio":
+            self.devices.io_write(ports.PORT_RADIO_LO, value & 0xFF)
+            self.devices.io_write(ports.PORT_RADIO_HI, (value >> 8) & 0xFF)
+        else:
+            raise IRInterpError(f"cannot write port {port!r}")
+
+
+def run_ir(
+    module: IRModule,
+    devices: DeviceBoard | None = None,
+    max_steps: int = 5_000_000,
+) -> IRRunResult:
+    """Convenience: interpret ``module`` from ``main`` to completion."""
+    return IRInterpreter(module, devices).run(max_steps)

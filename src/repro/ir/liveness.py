@@ -1,0 +1,183 @@
+"""Liveness analysis and live intervals.
+
+Provides the dataflow facts every register allocator in this repo
+consumes:
+
+* ``live_out``/``live_in`` sets per instruction (backward dataflow over
+  the CFG),
+* :class:`LiveInterval` — the linear-scan view ``[start, end]`` over
+  instruction indices,
+* per-instruction def/use/last-use classification — the exact notions
+  (``def.a.s``, ``use.a.s``, ``lastUse.a.s``) the paper's ILP model in
+  §3.3 builds its decision variables from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cfg import CFG, build_cfg
+from .function import IRFunction
+from .instructions import IROp, VReg
+
+
+@dataclass
+class LiveInterval:
+    """Linear live interval of one virtual register.
+
+    ``start`` is the index of the first definition; ``end`` is the last
+    instruction index at which the vreg is live (inclusive).
+    """
+
+    vreg: VReg
+    start: int
+    end: int
+    #: True if the value is live across any CALL instruction (such vregs
+    #: must sit in callee-saved registers under our calling convention).
+    crosses_call: bool = False
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return not (self.end < other.start or other.end < self.start)
+
+    def covers(self, index: int) -> bool:
+        return self.start <= index <= self.end
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LiveInterval({self.vreg.name}, [{self.start}, {self.end}])"
+
+
+@dataclass
+class LivenessInfo:
+    """All liveness facts for one function."""
+
+    function: IRFunction
+    cfg: CFG
+    live_in: list[set]
+    live_out: list[set]
+    intervals: dict[str, LiveInterval]
+
+    def interval(self, name: str) -> LiveInterval:
+        return self.intervals[name]
+
+    def live_at(self, index: int) -> set:
+        """Vreg names live *out of* instruction ``index``."""
+        return self.live_out[index]
+
+    def is_last_use(self, index: int, name: str) -> bool:
+        """Is instruction ``index`` the last use of ``name`` (paper's
+        ``lastUse.a.s``): the vreg is used here and dead afterwards?"""
+        ins = self.function.instrs[index]
+        if name not in {r.name for r in ins.uses()}:
+            return False
+        return name not in self.live_out[index]
+
+    def is_def(self, index: int, name: str) -> bool:
+        ins = self.function.instrs[index]
+        return any(r.name == name for r in ins.defs())
+
+    def is_use(self, index: int, name: str) -> bool:
+        ins = self.function.instrs[index]
+        return any(r.name == name for r in ins.uses())
+
+
+def analyze(fn: IRFunction) -> LivenessInfo:
+    """Run backward liveness over ``fn`` and derive live intervals."""
+    cfg = build_cfg(fn)
+    count = len(fn.instrs)
+    live_in = [set() for _ in range(count)]
+    live_out = [set() for _ in range(count)]
+
+    uses = []
+    defs = []
+    for ins in fn.instrs:
+        uses.append({r.name for r in ins.uses()})
+        defs.append({r.name for r in ins.defs()})
+
+    changed = True
+    while changed:
+        changed = False
+        # Iterate blocks in reverse for faster convergence.
+        for block in reversed(cfg.blocks):
+            for idx in reversed(range(block.start, block.end)):
+                out: set = set()
+                if idx == block.end - 1 or fn.instrs[idx].is_terminator:
+                    for succ in cfg.successors_of_instr(idx):
+                        out |= live_in[succ]
+                else:
+                    out = set(live_in[idx + 1])
+                new_in = uses[idx] | (out - defs[idx])
+                if out != live_out[idx] or new_in != live_in[idx]:
+                    live_out[idx] = out
+                    live_in[idx] = new_in
+                    changed = True
+
+    intervals = _build_intervals(fn, live_in, live_out)
+    return LivenessInfo(
+        function=fn, cfg=cfg, live_in=live_in, live_out=live_out, intervals=intervals
+    )
+
+
+def _build_intervals(fn, live_in, live_out) -> dict[str, LiveInterval]:
+    intervals: dict[str, LiveInterval] = {}
+    vreg_by_name = {r.name: r for r in fn.vregs()}
+
+    def touch(name: str, index: int) -> None:
+        reg = vreg_by_name[name]
+        interval = intervals.get(name)
+        if interval is None:
+            intervals[name] = LiveInterval(vreg=reg, start=index, end=index)
+        else:
+            interval.start = min(interval.start, index)
+            interval.end = max(interval.end, index)
+
+    # Parameters are live from function entry.
+    for reg in fn.param_vregs:
+        touch(reg.name, 0)
+
+    for idx, ins in enumerate(fn.instrs):
+        for name in {r.name for r in ins.vregs()}:
+            touch(name, idx)
+        for name in live_out[idx]:
+            touch(name, idx)
+        for name in live_in[idx]:
+            touch(name, idx)
+
+    # Flag call-crossing intervals.
+    for idx, ins in enumerate(fn.instrs):
+        if ins.op is IROp.CALL:
+            for name in live_out[idx]:
+                # Live out of the call and live into it -> value must
+                # survive the call.
+                if name in live_in[idx] and name not in {r.name for r in ins.defs()}:
+                    if name in intervals:
+                        intervals[name].crosses_call = True
+            # The call's own arguments do not need to survive it.
+    return intervals
+
+
+def interference_pairs(info: LivenessInfo) -> set[tuple[str, str]]:
+    """All pairs of vreg names that are simultaneously live.
+
+    The classic interference definition: ``a`` interferes with ``b`` if
+    ``a`` is defined while ``b`` is live (or vice versa).  Used by the
+    graph-coloring baseline allocator.
+    """
+    pairs: set[tuple[str, str]] = set()
+    for idx, ins in enumerate(info.function.instrs):
+        live = info.live_out[idx]
+        for dreg in ins.defs():
+            for other in live:
+                if other != dreg.name:
+                    pairs.add(_ordered(dreg.name, other))
+        # MOV coalescing candidates are still interference-free; the
+        # baseline allocator handles that separately.
+    # Parameters interfere with each other (all live at entry).
+    params = [r.name for r in info.function.param_vregs]
+    for i, first in enumerate(params):
+        for second in params[i + 1 :]:
+            pairs.add(_ordered(first, second))
+    return pairs
+
+
+def _ordered(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)

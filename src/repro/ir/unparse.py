@@ -1,0 +1,73 @@
+"""Normalised single-line rendering of AST statements and expressions.
+
+The chunk matcher (paper §3.2) needs a *stable identity* for each source
+statement so that the old and new IR can be aligned.  We use the
+statement's normalised source text: whitespace-insensitive, fully
+parenthesised, with compound statements reduced to their headers
+(``if (cond)``, ``while (cond)``...).  Two statements that parse to the
+same AST render identically.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Render an expression fully parenthesised."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.NameRef):
+        return expr.name
+    if isinstance(expr, ast.IndexExpr):
+        return f"{render_expr(expr.base)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.UnaryExpr):
+        return f"{expr.op}({render_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryExpr):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.CastExpr):
+        # Casts are sema-inserted; identity must match the source text.
+        return render_expr(expr.operand)
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def render_stmt_header(stmt: ast.Stmt) -> str:
+    """Render a statement's identity line (headers for compound stmts)."""
+    if isinstance(stmt, ast.DeclStmt):
+        text = f"{stmt.var_type} {stmt.name}"
+        if stmt.is_const:
+            text = "const " + text
+        if stmt.init is not None:
+            text += f" = {render_expr(stmt.init)}"
+        elif stmt.init_list is not None:
+            items = ", ".join(render_expr(e) for e in stmt.init_list)
+            text += " = {" + items + "}"
+        return text + ";"
+    if isinstance(stmt, ast.AssignStmt):
+        op = (stmt.op + "=") if stmt.op else "="
+        return f"{render_expr(stmt.target)} {op} {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{render_expr(stmt.expr)};"
+    if isinstance(stmt, ast.IfStmt):
+        return f"if ({render_expr(stmt.cond)})"
+    if isinstance(stmt, ast.WhileStmt):
+        return f"while ({render_expr(stmt.cond)})"
+    if isinstance(stmt, ast.ForStmt):
+        init = render_stmt_header(stmt.init).rstrip(";") if stmt.init else ""
+        cond = render_expr(stmt.cond) if stmt.cond else ""
+        step = render_stmt_header(stmt.step).rstrip(";") if stmt.step else ""
+        return f"for ({init}; {cond}; {step})"
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is not None:
+            return f"return {render_expr(stmt.value)};"
+        return "return;"
+    if isinstance(stmt, ast.BreakStmt):
+        return "break;"
+    if isinstance(stmt, ast.ContinueStmt):
+        return "continue;"
+    if isinstance(stmt, ast.Block):
+        return "{"
+    raise TypeError(f"cannot render {type(stmt).__name__}")

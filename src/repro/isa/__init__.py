@@ -1,0 +1,38 @@
+"""AVR-flavoured target ISA: registers, instructions, encoding, assembler."""
+
+from . import devices, registers
+from .assembler import (
+    AssemblyError,
+    BinaryImage,
+    EncodedInstr,
+    assemble,
+    disassemble_words,
+)
+from .instructions import (
+    DATA_ADDRESS_OPS,
+    EncodingError,
+    MachineInstr,
+    OPCODES,
+    OpSpec,
+    decode,
+    encode,
+    label,
+)
+
+__all__ = [
+    "AssemblyError",
+    "BinaryImage",
+    "DATA_ADDRESS_OPS",
+    "EncodedInstr",
+    "EncodingError",
+    "MachineInstr",
+    "OPCODES",
+    "OpSpec",
+    "assemble",
+    "decode",
+    "devices",
+    "disassemble_words",
+    "encode",
+    "label",
+    "registers",
+]

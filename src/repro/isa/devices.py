@@ -1,0 +1,37 @@
+"""Memory map and device port assignments of the simulated mote.
+
+Loosely modelled on the Mica2 (ATmega128L): a small I/O port space
+reached with ``IN``/``OUT``, SRAM starting above the register file, and
+a stack growing down from the top of SRAM.
+"""
+
+from __future__ import annotations
+
+# -- I/O ports (IN/OUT port numbers, 5 bits) --------------------------------
+
+PORT_LED = 0x02  # write: LED bits; read: current LED state
+PORT_RADIO_LO = 0x03  # write: latch low byte of outgoing word
+PORT_RADIO_HI = 0x04  # write: latch high byte AND transmit the word
+PORT_TIMER = 0x05  # read: 1 if the timer fired since last read (clears)
+PORT_ADC_LO = 0x06  # read: low byte of current sensor sample
+PORT_ADC_HI = 0x07  # read: high byte of current sensor sample
+
+#: port-name (as used by IR IOREAD/IOWRITE) -> primary port number
+PORTS = {
+    "led": PORT_LED,
+    "radio": PORT_RADIO_LO,
+    "timer": PORT_TIMER,
+    "adc": PORT_ADC_LO,
+}
+
+# -- data memory -------------------------------------------------------------
+
+#: First SRAM address available to the data segment (globals + frames).
+DATA_START = 0x0100
+
+#: Total SRAM size in bytes (4 KiB, like the ATmega128L's internal SRAM).
+SRAM_SIZE = 0x1000
+
+#: Initial stack pointer (top of SRAM; the stack grows down and holds
+#: only return addresses in this reproduction).
+STACK_TOP = DATA_START + SRAM_SIZE - 1

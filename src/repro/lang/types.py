@@ -1,0 +1,86 @@
+"""The ucc-C type system.
+
+ucc-C deliberately mirrors what AVR sensor firmware actually uses:
+unsigned 8-bit and 16-bit scalars, fixed-size arrays of those, and
+``void`` for procedures.  A ``u8`` occupies one machine register; a
+``u16`` occupies an even-aligned register *pair* — this is what makes
+the paper's consecutive-register constraint (eq. 9) bite in the ILP
+register allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """A scalar or array type."""
+
+    name: str  # "u8" | "u16" | "void"
+    array_length: int | None = None  # None for scalars
+
+    @property
+    def is_void(self) -> bool:
+        return self.name == "void" and self.array_length is None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_length is not None
+
+    @property
+    def element_size(self) -> int:
+        """Size in bytes of one element (or of the scalar itself)."""
+        return {"u8": 1, "u16": 2, "void": 0}[self.name]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total storage size in bytes."""
+        if self.is_array:
+            return self.element_size * self.array_length
+        return self.element_size
+
+    @property
+    def bits(self) -> int:
+        return self.element_size * 8
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value of the scalar/element type."""
+        return (1 << self.bits) - 1
+
+    def element_type(self) -> "Type":
+        """The scalar type of one element of an array type."""
+        if not self.is_array:
+            raise ValueError(f"{self} is not an array type")
+        return Type(self.name)
+
+    def __str__(self) -> str:
+        if self.is_array:
+            return f"{self.name}[{self.array_length}]"
+        return self.name
+
+
+U8 = Type("u8")
+U16 = Type("u16")
+VOID = Type("void")
+
+SCALARS = {"u8": U8, "u16": U16}
+
+
+def scalar(name: str) -> Type:
+    """Look up a scalar type by keyword name (``u8``/``u16``/``void``)."""
+    if name == "void":
+        return VOID
+    return SCALARS[name]
+
+
+def common_type(left: Type, right: Type) -> Type:
+    """The usual-arithmetic-conversion result of two scalar operands.
+
+    ucc-C promotes to the wider of the two operand types; all arithmetic
+    is unsigned and wraps modulo the result width (AVR semantics).
+    """
+    if left.is_array or right.is_array:
+        raise ValueError("arrays have no common arithmetic type")
+    return U16 if U16 in (left, right) else U8

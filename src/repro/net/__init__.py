@@ -1,0 +1,26 @@
+"""WSN dissemination: topologies, flooding, energy ledgers."""
+
+from .dissemination import (
+    DisseminationResult,
+    NodeLedger,
+    PATCH_CYCLES_PER_BYTE,
+    ReportModel,
+    disseminate,
+)
+from .topology import Topology, grid, line, random_geometric
+
+__all__ = [
+    "DisseminationResult",
+    "NodeLedger",
+    "PATCH_CYCLES_PER_BYTE",
+    "ReportModel",
+    "Topology",
+    "disseminate",
+    "grid",
+    "line",
+    "random_geometric",
+]
+
+from .lossy import LossyResult, NACK_BYTES, disseminate_lossy
+
+__all__ += ["LossyResult", "NACK_BYTES", "disseminate_lossy"]

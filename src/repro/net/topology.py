@@ -1,0 +1,128 @@
+"""WSN topologies for the dissemination simulator.
+
+Multi-hop networks where the sink cannot reach every node directly —
+the setting in which paper §1 argues updates must travel hop-by-hop.
+Topologies are plain adjacency structures; determinism comes from
+seeded generators.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Topology:
+    """An undirected connected network; node 0 is the sink."""
+
+    positions: list[tuple[float, float]]
+    neighbors: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.positions)
+
+    def hops_from_sink(self) -> dict[int, int]:
+        """BFS hop distance of every node from the sink (node 0)."""
+        hops = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for peer in self.neighbors.get(node, ()):
+                    if peer not in hops:
+                        hops[peer] = hops[node] + 1
+                        nxt.append(peer)
+            frontier = nxt
+        return hops
+
+    def is_connected(self) -> bool:
+        return len(self.hops_from_sink()) == self.node_count
+
+    def max_hops(self) -> int:
+        return max(self.hops_from_sink().values())
+
+    def path_to_sink(self, node: int) -> list[int]:
+        """A shortest path node → sink (greedy descent over hop counts)."""
+        hops = self.hops_from_sink()
+        path = [node]
+        current = node
+        while current != 0:
+            current = min(
+                self.neighbors[current], key=lambda peer: (hops[peer], peer)
+            )
+            path.append(current)
+        return path
+
+
+def line(node_count: int, spacing: float = 1.0) -> Topology:
+    """A chain: sink — n1 — n2 — ... (the paper's 70-hop report path)."""
+    positions = [(i * spacing, 0.0) for i in range(node_count)]
+    neighbors = {}
+    for i in range(node_count):
+        adjacent = []
+        if i > 0:
+            adjacent.append(i - 1)
+        if i < node_count - 1:
+            adjacent.append(i + 1)
+        neighbors[i] = adjacent
+    return Topology(positions=positions, neighbors=neighbors)
+
+
+def grid(width: int, height: int, spacing: float = 1.0) -> Topology:
+    """A width x height grid, 4-connected, sink at the corner."""
+    positions = []
+    for y in range(height):
+        for x in range(width):
+            positions.append((x * spacing, y * spacing))
+    neighbors: dict[int, list[int]] = {}
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            adjacent = []
+            if x > 0:
+                adjacent.append(node - 1)
+            if x < width - 1:
+                adjacent.append(node + 1)
+            if y > 0:
+                adjacent.append(node - width)
+            if y < height - 1:
+                adjacent.append(node + width)
+            neighbors[node] = adjacent
+    return Topology(positions=positions, neighbors=neighbors)
+
+
+def random_geometric(
+    node_count: int,
+    radio_range: float = 0.18,
+    seed: int = 42,
+    area: float = 1.0,
+    max_attempts: int = 200,
+) -> Topology:
+    """Random uniform placement with a unit-disc radio model.
+
+    Resamples until connected (raises after ``max_attempts``), so the
+    returned network is always usable for dissemination experiments.
+    """
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        positions = [
+            (rng.uniform(0, area), rng.uniform(0, area)) for _ in range(node_count)
+        ]
+        neighbors: dict[int, list[int]] = {i: [] for i in range(node_count)}
+        for i in range(node_count):
+            for j in range(i + 1, node_count):
+                dx = positions[i][0] - positions[j][0]
+                dy = positions[i][1] - positions[j][1]
+                if math.hypot(dx, dy) <= radio_range:
+                    neighbors[i].append(j)
+                    neighbors[j].append(i)
+        topo = Topology(positions=positions, neighbors=neighbors)
+        if topo.is_connected():
+            return topo
+    raise ValueError(
+        f"could not sample a connected network of {node_count} nodes with "
+        f"range {radio_range}"
+    )

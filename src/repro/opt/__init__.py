@@ -1,0 +1,23 @@
+"""IR optimization passes (run before update-conscious code generation)."""
+
+from .passes import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    optimize_module,
+    propagate_copies,
+    remove_unreachable,
+)
+
+__all__ = [
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize_function",
+    "optimize_module",
+    "propagate_copies",
+    "remove_unreachable",
+]
+
+from .cse import eliminate_common_subexpressions
+
+__all__ += ["eliminate_common_subexpressions"]

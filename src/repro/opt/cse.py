@@ -1,0 +1,133 @@
+"""Block-local common-subexpression elimination (value numbering).
+
+Redundant pure computations — including repeated ``LOADG``/``LOADIDX``
+of unmodified memory — are replaced by a register copy from the first
+occurrence; copy propagation and DCE then clean up.  Invalidations are
+conservative:
+
+* ``STOREG x`` kills loads of ``x``;
+* ``STOREIDX a`` kills indexed loads of ``a`` (and, because an index
+  may alias, all indexed loads);
+* ``CALL`` kills every memory-derived value (the callee may store);
+* redefining an operand kills expressions computed from it;
+* ``IOREAD``/``IOWRITE`` are never candidates (device side effects).
+
+Like every pass here, the result is deterministic, so identical source
+regions optimize identically across program versions — the property
+the update matcher relies on.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import build_cfg
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    BINARY_OPS,
+    IRInstr,
+    IROp,
+    Imm,
+    MemRef,
+    UNARY_OPS,
+    VReg,
+)
+
+#: Pure ops whose results can be reused.
+_PURE_OPS = BINARY_OPS | (UNARY_OPS - {IROp.MOV}) | {IROp.LOADG, IROp.LOADIDX}
+
+
+def _operand_key(arg) -> tuple | None:
+    if isinstance(arg, VReg):
+        return ("v", arg.name)
+    if isinstance(arg, Imm):
+        return ("i", arg.value, arg.ctype.name)
+    if isinstance(arg, MemRef):
+        return ("m", arg.symbol)
+    return None
+
+
+def _expr_key(ins: IRInstr) -> tuple | None:
+    """A hashable identity of the computation, or None if not pure."""
+    if ins.op not in _PURE_OPS or ins.dst is None:
+        return None
+    parts = [ins.op.value, ins.dst.ctype.name]
+    for arg in ins.args:
+        key = _operand_key(arg)
+        if key is None:
+            return None
+        parts.append(key)
+    return tuple(parts)
+
+
+def eliminate_common_subexpressions(fn: IRFunction) -> bool:
+    """Run block-local CSE over ``fn``; returns True if anything changed."""
+    cfg = build_cfg(fn)
+    changed = False
+    for block in cfg.blocks:
+        available: dict[tuple, VReg] = {}
+        # which expression keys depend on a given vreg / memory symbol
+        by_vreg: dict[str, set[tuple]] = {}
+        by_symbol: dict[str, set[tuple]] = {}
+
+        def kill_vreg(name: str) -> None:
+            for key in by_vreg.pop(name, set()):
+                available.pop(key, None)
+
+        def kill_symbol(symbol: str) -> None:
+            for key in by_symbol.pop(symbol, set()):
+                available.pop(key, None)
+
+        def kill_all_memory() -> None:
+            for symbol in list(by_symbol):
+                kill_symbol(symbol)
+
+        for index in block.instruction_indices():
+            ins = fn.instrs[index]
+
+            key = _expr_key(ins)
+            if key is not None and key in available:
+                source = available[key]
+                if source.name != ins.dst.name:
+                    fn.instrs[index] = IRInstr(
+                        op=IROp.MOV,
+                        dst=ins.dst,
+                        args=(source,),
+                        stmt_id=ins.stmt_id,
+                        stmt_text=ins.stmt_text,
+                        freq=ins.freq,
+                    )
+                    ins = fn.instrs[index]
+                    changed = True
+                key = None  # the rewritten MOV is not a new expression
+
+            # -- invalidations ------------------------------------------
+            if ins.op is IROp.STOREG:
+                kill_symbol(ins.args[0].symbol)
+            elif ins.op is IROp.STOREIDX:
+                # indices may alias: kill every indexed load
+                for symbol, keys in list(by_symbol.items()):
+                    for expr in list(keys):
+                        if expr[0] == IROp.LOADIDX.value:
+                            keys.discard(expr)
+                            available.pop(expr, None)
+                kill_symbol(ins.args[0].symbol)
+            elif ins.op is IROp.CALL:
+                kill_all_memory()
+            if ins.dst is not None:
+                kill_vreg(ins.dst.name)
+                # the destination's own cached value is also stale
+                for cached_key, reg in list(available.items()):
+                    if reg.name == ins.dst.name:
+                        available.pop(cached_key, None)
+
+            # -- record the new expression -------------------------------
+            if key is not None:
+                available[key] = ins.dst
+                for arg in ins.args:
+                    if isinstance(arg, VReg):
+                        by_vreg.setdefault(arg.name, set()).add(key)
+                    elif isinstance(arg, MemRef):
+                        by_symbol.setdefault(arg.symbol, set()).add(key)
+                if ins.op in (IROp.LOADG, IROp.LOADIDX):
+                    symbol = ins.args[0].symbol
+                    by_symbol.setdefault(symbol, set()).add(key)
+    return changed

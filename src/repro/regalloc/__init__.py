@@ -1,0 +1,65 @@
+"""Register allocation: baselines, chunking, preferences, UCC-RA."""
+
+from .base import (
+    AllocationError,
+    AllocationRecord,
+    MoveInsertion,
+    Piece,
+    Placement,
+    verify_allocation,
+)
+from .chunks import (
+    Chunk,
+    DEFAULT_K,
+    IRMatch,
+    build_chunks,
+    changed_fraction,
+    changed_indices,
+    chunk_of,
+    match_ir,
+)
+from .graph_coloring import allocate_graph_coloring
+from .linear_scan import allocate_linear_scan
+from .preferences import PreferenceMap, build_preferences, misleading_preferences
+from .ucc_ra import UCCReport, allocate_ucc_greedy
+
+__all__ = [
+    "AllocationError",
+    "AllocationRecord",
+    "Chunk",
+    "DEFAULT_K",
+    "IRMatch",
+    "MoveInsertion",
+    "Piece",
+    "Placement",
+    "PreferenceMap",
+    "UCCReport",
+    "allocate_graph_coloring",
+    "allocate_linear_scan",
+    "allocate_ucc_greedy",
+    "build_chunks",
+    "build_preferences",
+    "changed_fraction",
+    "changed_indices",
+    "chunk_of",
+    "match_ir",
+    "misleading_preferences",
+    "verify_allocation",
+]
+
+from .ilp_model import ChunkSpec, THETA, build_chunk_model, nonlinear_objective
+from .ilp_ra import ILPChunkOutcome, ILPReport, allocate_ucc_ilp, build_spec_for_chunk
+from .minlp import MINLPResult, solve_chunk_minlp
+
+__all__ += [
+    "ChunkSpec",
+    "ILPChunkOutcome",
+    "ILPReport",
+    "MINLPResult",
+    "THETA",
+    "allocate_ucc_ilp",
+    "build_chunk_model",
+    "build_spec_for_chunk",
+    "nonlinear_objective",
+    "solve_chunk_minlp",
+]

@@ -1,0 +1,77 @@
+"""Chaitin/Briggs-style graph-coloring register allocation.
+
+This is the reproduction's ``GCC-RA`` baseline (paper §5): a classic,
+*update-oblivious* global allocator.  It is a pure function of the new
+IR — it never looks at the previous binary — so a small IR change can
+shift the colouring of everything processed after it, which is exactly
+the cascade the paper measures against.
+
+Determinism matters for the reproduction: given the same IR the
+allocator always produces the same record (nodes are processed in
+sorted order, colours tried in ascending register number).
+"""
+
+from __future__ import annotations
+
+from ..ir.function import IRFunction
+from ..ir.liveness import analyze, interference_pairs
+from ..isa import registers as regs
+from .base import AllocationRecord, Placement
+
+
+def allocate_graph_coloring(fn: IRFunction) -> AllocationRecord:
+    """Allocate registers for ``fn`` with optimistic graph coloring."""
+    info = analyze(fn)
+    pairs = interference_pairs(info)
+    vregs = {r.name: r for r in fn.vregs()}
+
+    adjacency: dict[str, set[str]] = {name: set() for name in vregs}
+    for a, b in pairs:
+        if a in adjacency and b in adjacency:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+    candidates = {
+        name: regs.candidates(
+            reg.size, callee_saved_only=info.intervals[name].crosses_call
+            if name in info.intervals
+            else False,
+        )
+        for name, reg in vregs.items()
+    }
+
+    # -- simplify phase: peel minimum-degree nodes (optimistic) ------------
+    remaining = set(vregs)
+    degree = {name: len(adjacency[name] & remaining) for name in remaining}
+    stack: list[str] = []
+    while remaining:
+        name = min(remaining, key=lambda n: (degree[n], n))
+        stack.append(name)
+        remaining.discard(name)
+        for neighbor in adjacency[name]:
+            if neighbor in remaining:
+                degree[neighbor] -= 1
+
+    # -- select phase -------------------------------------------------------
+    record = AllocationRecord(function=fn.name, algorithm="gcc-ra")
+    end = len(fn.instrs) - 1 if fn.instrs else 0
+    assigned: dict[str, int] = {}
+    while stack:
+        name = stack.pop()
+        reg = vregs[name]
+        blocked: set[int] = set()
+        for neighbor in adjacency[name]:
+            base = assigned.get(neighbor)
+            if base is not None:
+                blocked.update(regs.registers_of(base, vregs[neighbor].size))
+        placement = Placement(vreg=name, size=reg.size)
+        for base in candidates[name]:
+            if not set(regs.registers_of(base, reg.size)) & blocked:
+                assigned[name] = base
+                placement.add_piece(0, end, base)
+                break
+        else:
+            placement.spilled = True
+            record.spill_order.append(name)
+        record.placements[name] = placement
+    return record

@@ -1,0 +1,75 @@
+"""Poletto/Sarkar linear-scan register allocation.
+
+The second update-oblivious baseline (paper §6 discusses linear-scan
+allocators producing code comparable to graph coloring).  Like the
+graph-coloring baseline it is deterministic and a pure function of the
+new IR, so it exhibits the same small-edit/large-cascade behaviour the
+paper attacks.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import IRFunction
+from ..ir.liveness import LiveInterval, analyze
+from ..isa import registers as regs
+from .base import AllocationRecord, Placement
+
+
+def allocate_linear_scan(fn: IRFunction) -> AllocationRecord:
+    """Allocate registers for ``fn`` with the classic linear scan."""
+    info = analyze(fn)
+    intervals = sorted(
+        info.intervals.values(), key=lambda iv: (iv.start, iv.end, iv.vreg.name)
+    )
+
+    record = AllocationRecord(function=fn.name, algorithm="linear-scan")
+    active: list[tuple[LiveInterval, int]] = []  # (interval, base)
+    occupied: set[int] = set()
+
+    def expire(current_start: int) -> None:
+        still_active = []
+        for interval, base in active:
+            if interval.end < current_start:
+                occupied.difference_update(
+                    regs.registers_of(base, interval.vreg.size)
+                )
+            else:
+                still_active.append((interval, base))
+        active[:] = still_active
+
+    for interval in intervals:
+        expire(interval.start)
+        reg = interval.vreg
+        placement = Placement(vreg=reg.name, size=reg.size)
+        candidates = regs.candidates(reg.size, callee_saved_only=interval.crosses_call)
+        for base in candidates:
+            if not set(regs.registers_of(base, reg.size)) & occupied:
+                occupied.update(regs.registers_of(base, reg.size))
+                active.append((interval, base))
+                placement.add_piece(interval.start, interval.end, base)
+                break
+        else:
+            # Spill heuristic: spill the conflicting active interval that
+            # ends last if it outlives the current one, else spill the
+            # current interval.
+            victim = None
+            for other, base in active:
+                if other.vreg.size == reg.size and not (
+                    interval.crosses_call and base not in regs.CALLEE_SAVED
+                ):
+                    if victim is None or other.end > victim[0].end:
+                        victim = (other, base)
+            if victim is not None and victim[0].end > interval.end:
+                other, base = victim
+                active.remove(victim)
+                other_placement = record.placements[other.vreg.name]
+                other_placement.pieces.clear()
+                other_placement.spilled = True
+                record.spill_order.append(other.vreg.name)
+                active.append((interval, base))
+                placement.add_piece(interval.start, interval.end, base)
+            else:
+                placement.spilled = True
+                record.spill_order.append(reg.name)
+        record.placements[reg.name] = placement
+    return record

@@ -1,0 +1,16 @@
+"""Instruction-level mote simulator and peripherals."""
+
+from .devices import Adc, DeviceBoard, LedBank, Radio, Timer
+from .executor import RunResult, SimulationError, Simulator, run_image
+
+__all__ = [
+    "Adc",
+    "DeviceBoard",
+    "LedBank",
+    "Radio",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "run_image",
+]

@@ -1,0 +1,191 @@
+"""Extra workloads beyond the paper's Figure 8 set.
+
+Two classic TinyOS-era applications, used to exercise the compiler and
+the update machinery on larger, more data-driven programs:
+
+* ``SURGE`` — periodic sensing with a circular send queue and a
+  multihop-style packet header (the canonical TinyOS Surge app);
+* ``OSCILLOSCOPE`` — batched sampling: fill a buffer of readings, then
+  stream the whole batch (TinyOS OscilloscopeRF).
+
+They are deliberately heavier on arrays, u16 arithmetic, and
+inter-procedural structure than the Figure 8 benchmarks.
+"""
+
+from __future__ import annotations
+
+SURGE = """
+// Surge: sample the ADC on each timer event, queue the reading, and
+// drain the queue as AM packets with a multihop-style header.
+u16 queue[8];
+u8 queue_head = 0;
+u8 queue_len = 0;
+u8 node_id = 7;
+u8 parent_id = 1;
+u8 seq_no = 0;
+u16 samples_taken = 0;
+u16 packets_sent = 0;
+
+u8 queue_full() {
+    return queue_len >= 8;
+}
+
+void enqueue(u16 value) {
+    u8 slot;
+    if (queue_full()) {
+        return;  // drop on overflow, like the real Surge
+    }
+    slot = (queue_head + queue_len) % 8;
+    queue[slot] = value;
+    queue_len = queue_len + 1;
+}
+
+u16 dequeue() {
+    u16 value = queue[queue_head];
+    queue_head = (queue_head + 1) % 8;
+    queue_len = queue_len - 1;
+    return value;
+}
+
+void send_reading(u16 value) {
+    radio_send(node_id);
+    radio_send(parent_id);
+    radio_send(seq_no);
+    radio_send(value);
+    seq_no = seq_no + 1;
+    packets_sent = packets_sent + 1;
+}
+
+void sense_task() {
+    u16 sample = adc_read();
+    samples_taken = samples_taken + 1;
+    enqueue(sample >> 4);
+}
+
+void drain_task() {
+    if (queue_len > 0) {
+        send_reading(dequeue());
+    }
+}
+
+void tosh_run_next_task() {
+    if (timer_fired()) {
+        sense_task();
+    }
+    drain_task();
+}
+
+void main() {
+    u16 iter;
+    for (iter = 0; iter < 600; iter++) {
+        tosh_run_next_task();
+    }
+    halt();
+}
+"""
+
+OSCILLOSCOPE = """
+// OscilloscopeRF: fill a buffer of ADC readings, then stream the batch.
+u16 buffer[10];
+u8 fill = 0;
+u8 batches_sent = 0;
+u16 max_seen = 0;
+
+void record(u16 value) {
+    buffer[fill] = value;
+    fill = fill + 1;
+    if (value > max_seen) {
+        max_seen = value;
+    }
+}
+
+void flush_batch() {
+    u8 i;
+    led_set(batches_sent & 7);
+    radio_send(0xBEEF);
+    for (i = 0; i < 10; i++) {
+        radio_send(buffer[i]);
+    }
+    fill = 0;
+    batches_sent = batches_sent + 1;
+}
+
+void tosh_run_next_task() {
+    if (timer_fired()) {
+        record(adc_read());
+        if (fill >= 10) {
+            flush_batch();
+        }
+    }
+}
+
+void main() {
+    u16 iter;
+    for (iter = 0; iter < 800; iter++) {
+        tosh_run_next_task();
+    }
+    halt();
+}
+"""
+
+EXTRA_PROGRAMS: dict[str, str] = {
+    "Surge": SURGE,
+    "Oscilloscope": OSCILLOSCOPE,
+}
+
+
+def _edit(source: str, *replacements: tuple[str, str]) -> str:
+    out = source
+    for old, new in replacements:
+        if old not in out:
+            raise ValueError(f"extra-case anchor not found: {old!r}")
+        out = out.replace(old, new, 1)
+    return out
+
+
+#: Extended update cases over the extra workloads (E1-E4), exercising
+#: the update machinery on larger programs than Figure 9's.
+EXTRA_CASES: dict[str, tuple[str, str, str]] = {
+    # id: (description, old_source, new_source)
+    "E1": (
+        "Surge: re-parent the node (data-only change)",
+        SURGE,
+        _edit(SURGE, ("u8 parent_id = 1;", "u8 parent_id = 3;")),
+    ),
+    "E2": (
+        "Surge: count dropped readings in a new global",
+        SURGE,
+        _edit(
+            SURGE,
+            ("u16 packets_sent = 0;", "u16 packets_sent = 0;\nu16 drops = 0;"),
+            (
+                "    if (queue_full()) {\n        return;  // drop on overflow, like the real Surge\n    }",
+                "    if (queue_full()) {\n        drops = drops + 1;\n        return;\n    }",
+            ),
+        ),
+    ),
+    "E3": (
+        "Surge: add a low-battery beacon branch to the drain task",
+        SURGE,
+        _edit(
+            SURGE,
+            ("u8 seq_no = 0;", "u8 seq_no = 0;\nu8 beacon_due = 0;"),
+            (
+                "void drain_task() {\n    if (queue_len > 0) {\n        send_reading(dequeue());\n    }\n}",
+                "void drain_task() {\n    beacon_due = beacon_due + 1;\n"
+                "    if (beacon_due >= 64) {\n        radio_send(0xFEED);\n"
+                "        beacon_due = 0;\n    }\n"
+                "    if (queue_len > 0) {\n        send_reading(dequeue());\n    }\n}",
+            ),
+        ),
+    ),
+    "E4": (
+        "Oscilloscope: halve the batch size (constant + loop bounds)",
+        OSCILLOSCOPE,
+        _edit(
+            OSCILLOSCOPE,
+            ("if (fill >= 10) {", "if (fill >= 5) {"),
+            ("for (i = 0; i < 10; i++) {", "for (i = 0; i < 5; i++) {"),
+        ),
+    ),
+}

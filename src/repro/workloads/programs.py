@@ -1,0 +1,344 @@
+"""The benchmark programs (paper Figure 8), rewritten in ucc-C.
+
+Five programs mirroring the paper's benchmarks:
+
+* ``BLINK``             — 1 Hz timer toggles the red LED;
+* ``CNT_TO_LEDS``       — 4 Hz counter, low three bits on the LEDs;
+* ``CNT_TO_RFM``        — counter sent in an IntMsg-style packet on
+  each increment;
+* ``CNT_TO_LEDS_AND_RFM`` — combines the two;
+* ``AES``               — AES-128 block encryption (the Crypto++
+  benchmark's stand-in), a real implementation checked against the
+  FIPS-197 test vector in the test suite.
+
+All follow the TinyOS idiom the paper's cases reference: a
+``tosh_run_next_task`` polling loop and a ``timer_handle_fire`` event
+handler.  ``main`` runs a bounded number of scheduler iterations and
+halts, so a simulation run is finite and deterministic (``Diff_cycle``
+is measured over one such run, like the paper's "single run").
+"""
+
+from __future__ import annotations
+
+BLINK = """
+// Blink: start a 1Hz timer and toggle the red LED every time it fires.
+u8 led_state = 0;
+
+void timer_handle_fire() {
+    led_state = led_state ^ 1;  // red LED is bit 0
+    led_set(led_state);
+}
+
+void tosh_run_next_task() {
+    if (timer_fired()) {
+        timer_handle_fire();
+    }
+}
+
+void main() {
+    u16 iter;
+    led_set(0);
+    for (iter = 0; iter < 600; iter++) {
+        tosh_run_next_task();
+    }
+    halt();
+}
+"""
+
+CNT_TO_LEDS = """
+// CntToLeds: maintain a counter on a 4Hz timer and display the lowest
+// three bits of the counter value on the LEDs.
+u16 cnt = 0;
+u8 display_mask = 7;
+
+void timer_handle_fire() {
+    cnt = cnt + 1;
+    led_set(cnt & display_mask);
+}
+
+void tosh_run_next_task() {
+    if (timer_fired()) {
+        timer_handle_fire();
+    }
+}
+
+void main() {
+    u16 iter;
+    cnt = 0;
+    for (iter = 0; iter < 600; iter++) {
+        tosh_run_next_task();
+    }
+    halt();
+}
+"""
+
+CNT_TO_RFM = """
+// CntToRfm: maintain a counter on a 4Hz timer and send out the value
+// of the counter in an IntMsg-style AM packet on each increment.
+u16 cnt = 0;
+u8 am_type = 4;
+u8 msg_seq = 0;
+
+void am_send_header(u8 kind, u8 seq) {
+    radio_send(kind);
+    radio_send(seq);
+}
+
+void send_int_msg(u16 value) {
+    am_send_header(am_type, msg_seq);
+    radio_send(value);
+    msg_seq = msg_seq + 1;
+}
+
+void timer_handle_fire() {
+    cnt = cnt + 1;
+    send_int_msg(cnt);
+}
+
+void tosh_run_next_task() {
+    if (timer_fired()) {
+        timer_handle_fire();
+    }
+}
+
+void main() {
+    u16 iter;
+    cnt = 0;
+    for (iter = 0; iter < 600; iter++) {
+        tosh_run_next_task();
+    }
+    halt();
+}
+"""
+
+CNT_TO_LEDS_AND_RFM = """
+// CntToLedsAndRfm: maintain a counter on a 4Hz timer; combine the
+// tasks performed by CntToRfm and CntToLeds.
+u16 cnt = 0;
+u8 display_mask = 7;
+u8 am_type = 4;
+u8 msg_seq = 0;
+
+void am_send_header(u8 kind, u8 seq) {
+    radio_send(kind);
+    radio_send(seq);
+}
+
+void send_int_msg(u16 value) {
+    am_send_header(am_type, msg_seq);
+    radio_send(value);
+    msg_seq = msg_seq + 1;
+}
+
+void show_on_leds(u16 value) {
+    led_set(value & display_mask);
+}
+
+void timer_handle_fire() {
+    cnt = cnt + 1;
+    show_on_leds(cnt);
+    send_int_msg(cnt);
+}
+
+void tosh_run_next_task() {
+    if (timer_fired()) {
+        timer_handle_fire();
+    }
+}
+
+void main() {
+    u16 iter;
+    cnt = 0;
+    for (iter = 0; iter < 600; iter++) {
+        tosh_run_next_task();
+    }
+    halt();
+}
+"""
+
+
+def _aes_source() -> str:
+    """Build the AES-128 source with the real S-box and Rcon tables."""
+    sbox = _AES_SBOX
+    sbox_rows = []
+    for row in range(0, 256, 16):
+        sbox_rows.append(
+            ", ".join(f"0x{v:02x}" for v in sbox[row : row + 16])
+        )
+    sbox_init = ",\n    ".join(sbox_rows)
+    rcon = ", ".join(f"0x{v:02x}" for v in _AES_RCON)
+    return f"""
+// AES-128 block encryption (FIPS-197), the Crypto++ benchmark of the
+// paper.  Encrypts the 16-byte `state` in place under `round_keys`.
+const u8 sbox[256] = {{
+    {sbox_init}
+}};
+const u8 rcon[11] = {{{rcon}}};
+
+u8 cipher_key[16] = {{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                     0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}};
+u8 state[16] = {{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}};
+u8 round_keys[176];
+
+u8 xtime(u8 x) {{
+    u8 high = x & 0x80;
+    u8 r = x << 1;
+    if (high != 0) {{
+        r = r ^ 0x1b;
+    }}
+    return r;
+}}
+
+void expand_key() {{
+    u8 i;
+    u8 pos;
+    u8 t0; u8 t1; u8 t2; u8 t3;
+    for (i = 0; i < 16; i++) {{
+        round_keys[i] = cipher_key[i];
+    }}
+    for (i = 4; i < 44; i++) {{
+        pos = i * 4;
+        t0 = round_keys[pos - 4];
+        t1 = round_keys[pos - 3];
+        t2 = round_keys[pos - 2];
+        t3 = round_keys[pos - 1];
+        if (i % 4 == 0) {{
+            u8 tmp = t0;
+            t0 = sbox[t1] ^ rcon[i / 4];
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+        }}
+        round_keys[pos] = round_keys[pos - 16] ^ t0;
+        round_keys[pos + 1] = round_keys[pos - 15] ^ t1;
+        round_keys[pos + 2] = round_keys[pos - 14] ^ t2;
+        round_keys[pos + 3] = round_keys[pos - 13] ^ t3;
+    }}
+}}
+
+void add_round_key(u8 round) {{
+    u8 i;
+    u8 base = round * 16;
+    for (i = 0; i < 16; i++) {{
+        state[i] = state[i] ^ round_keys[base + i];
+    }}
+}}
+
+void sub_bytes() {{
+    u8 i;
+    for (i = 0; i < 16; i++) {{
+        state[i] = sbox[state[i]];
+    }}
+}}
+
+void shift_rows() {{
+    u8 tmp;
+    // row 1: rotate left by 1
+    tmp = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = tmp;
+    // row 2: rotate left by 2
+    tmp = state[2];
+    state[2] = state[10];
+    state[10] = tmp;
+    tmp = state[6];
+    state[6] = state[14];
+    state[14] = tmp;
+    // row 3: rotate left by 3
+    tmp = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = tmp;
+}}
+
+void mix_columns() {{
+    u8 col;
+    u8 a0; u8 a1; u8 a2; u8 a3;
+    u8 all;
+    for (col = 0; col < 4; col++) {{
+        u8 base = col * 4;
+        a0 = state[base];
+        a1 = state[base + 1];
+        a2 = state[base + 2];
+        a3 = state[base + 3];
+        all = a0 ^ a1 ^ a2 ^ a3;
+        state[base] = state[base] ^ all ^ xtime(a0 ^ a1);
+        state[base + 1] = state[base + 1] ^ all ^ xtime(a1 ^ a2);
+        state[base + 2] = state[base + 2] ^ all ^ xtime(a2 ^ a3);
+        state[base + 3] = state[base + 3] ^ all ^ xtime(a3 ^ a0);
+    }}
+}}
+
+void aes_encrypt() {{
+    u8 round;
+    expand_key();
+    add_round_key(0);
+    for (round = 1; round < 10; round++) {{
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }}
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+}}
+
+void main() {{
+    u8 i;
+    aes_encrypt();
+    for (i = 0; i < 16; i++) {{
+        radio_send(state[i]);
+    }}
+    halt();
+}}
+"""
+
+
+def _make_sbox() -> list[int]:
+    """Compute the AES S-box (multiplicative inverse + affine map)."""
+    # Build GF(2^8) inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        s = inv
+        result = inv
+        for _ in range(4):
+            s = ((s << 1) | (s >> 7)) & 0xFF
+            result ^= s
+        sbox[value] = result ^ 0x63
+    return sbox
+
+
+_AES_SBOX = _make_sbox()
+_AES_RCON = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+AES = _aes_source()
+
+#: name -> source, in the order of paper Figure 8.
+PROGRAMS: dict[str, str] = {
+    "Blink": BLINK,
+    "CntToLeds": CNT_TO_LEDS,
+    "CntToRfm": CNT_TO_RFM,
+    "CntToLedsAndRfm": CNT_TO_LEDS_AND_RFM,
+    "AES": AES,
+}
+
+#: Expected FIPS-197 appendix C.1 ciphertext for the AES program above.
+AES_EXPECTED_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")

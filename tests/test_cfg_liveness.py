@@ -1,0 +1,129 @@
+"""CFG construction and liveness analysis tests."""
+
+from repro.ir import analyze, build_cfg, build_ir, loop_depths, static_frequencies
+from repro.ir.liveness import interference_pairs
+from repro.lang import frontend
+
+
+def lower_fn(source, name="f"):
+    return build_ir(frontend(source)).functions[name]
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        fn = lower_fn("void f() { u8 x = 1; u8 y = 2; }")
+        cfg = build_cfg(fn)
+        assert len(cfg.blocks) == 1
+
+    def test_if_creates_diamond(self):
+        fn = lower_fn("void f(u8 a) { u8 x = 0; if (a) { x = 1; } x = 2; }")
+        cfg = build_cfg(fn)
+        entry = cfg.blocks[0]
+        assert len(entry.successors) == 2
+
+    def test_loop_has_back_edge(self):
+        fn = lower_fn("void f(u8 a) { while (a) { a = a - 1; } }")
+        cfg = build_cfg(fn)
+        back_edges = [
+            (b.index, s)
+            for b in cfg.blocks
+            for s in b.successors
+            if s <= b.index
+        ]
+        assert back_edges
+
+    def test_ret_block_has_no_successors(self):
+        fn = lower_fn("u8 f() { return 1; }")
+        cfg = build_cfg(fn)
+        last = cfg.blocks[cfg.block_of[len(fn.instrs) - 1]]
+        assert last.successors == []
+
+    def test_block_of_covers_every_instruction(self):
+        fn = lower_fn("void f(u8 a) { if (a) { a = 1; } else { a = 2; } }")
+        cfg = build_cfg(fn)
+        assert set(cfg.block_of) == set(range(len(fn.instrs)))
+
+    def test_loop_depths_nesting(self):
+        fn = lower_fn(
+            "void f(u8 a) { while (a) { u8 b = a; while (b) { b = b - 1; } a = a - 1; } }"
+        )
+        cfg = build_cfg(fn)
+        depths = loop_depths(cfg)
+        assert max(depths.values()) >= 2
+
+    def test_static_frequencies_weight_loops(self):
+        fn = lower_fn("void f(u8 a) { u8 x = 0; while (a) { x = x + 1; } }")
+        freqs = static_frequencies(fn)
+        body_idx = next(
+            i
+            for i, ins in enumerate(fn.instrs)
+            if "x + 1" in ins.stmt_text or (ins.dst and ins.dst.name == "f.x" and i > 0)
+        )
+        assert freqs[body_idx] > freqs[0]
+
+
+class TestLiveness:
+    def test_param_live_from_entry(self):
+        fn = lower_fn("void f(u8 a) { u8 x = a; }")
+        info = analyze(fn)
+        assert info.intervals["f.a"].start == 0
+
+    def test_dead_after_last_use(self):
+        fn = lower_fn("void f(u8 a) { u8 x = a; u8 y = 1; }")
+        info = analyze(fn)
+        interval = info.intervals["f.a"]
+        assert interval.end == 0  # last use at the first instruction
+
+    def test_loop_variable_live_across_backedge(self):
+        fn = lower_fn("void f(u8 a) { while (a) { a = a - 1; } }")
+        info = analyze(fn)
+        interval = info.intervals["f.a"]
+        assert interval.end >= len(fn.instrs) - 3
+
+    def test_last_use_detection(self):
+        fn = lower_fn("void f(u8 a) { u8 x = a + 1; }")
+        info = analyze(fn)
+        use_index = next(
+            i for i, ins in enumerate(fn.instrs) if any(r.name == "f.a" for r in ins.uses())
+        )
+        assert info.is_last_use(use_index, "f.a")
+
+    def test_crosses_call_flag(self):
+        src = "u8 g(u8 v) { return v; } void f(u8 a) { u8 x = g(1); u8 y = a + x; }"
+        fn = lower_fn(src)
+        info = analyze(fn)
+        assert info.intervals["f.a"].crosses_call
+
+    def test_call_argument_does_not_cross(self):
+        src = "u8 g(u8 v) { return v; } void f() { u8 t = 1; u8 x = g(t); }"
+        fn = lower_fn(src)
+        info = analyze(fn)
+        assert not info.intervals["f.t"].crosses_call
+
+    def test_interference_pairs_symmetric_and_sound(self):
+        fn = lower_fn("void f(u8 a, u8 b) { u8 c = a + b; u8 d = c + a; }")
+        pairs = interference_pairs(analyze(fn))
+        # a is used after c is defined, so a and c interfere
+        assert ("f.a", "f.c") in pairs
+
+    def test_params_interfere_with_each_other(self):
+        fn = lower_fn("void f(u8 a, u8 b) { }")
+        pairs = interference_pairs(analyze(fn))
+        assert ("f.a", "f.b") in pairs
+
+    def test_disjoint_lifetimes_do_not_interfere(self):
+        fn = lower_fn("void f() { u8 a = 1; led_set(a); u8 b = 2; led_set(b); }")
+        pairs = interference_pairs(analyze(fn))
+        assert ("f.a", "f.b") not in pairs
+
+    def test_live_sets_converge_with_branches(self):
+        src = """
+        void f(u8 a, u8 b) {
+            u8 x;
+            if (a) { x = b; } else { x = 1; }
+            led_set(x);
+        }
+        """
+        fn = lower_fn(src)
+        info = analyze(fn)
+        assert "f.x" in info.intervals

@@ -1,0 +1,96 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+BLINK = """
+u8 led_state = 0;
+void main() {
+    u16 i;
+    for (i = 0; i < 1000; i++) {
+        if (timer_fired()) { led_state = led_state ^ 1; led_set(led_state); }
+    }
+    halt();
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "blink.c"
+    path.write_text(BLINK)
+    return str(path)
+
+
+@pytest.fixture()
+def edited_file(tmp_path):
+    path = tmp_path / "blink2.c"
+    path.write_text(BLINK.replace("led_state ^ 1", "led_state ^ 3"))
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_basic(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+
+    def test_disasm(self, source_file, capsys):
+        assert main(["compile", source_file, "--disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "halt" in out
+
+    def test_output_file(self, source_file, tmp_path, capsys):
+        target = str(tmp_path / "blink.bin")
+        assert main(["compile", source_file, "-o", target]) == 0
+        with open(target, "rb") as handle:
+            blob = handle.read()
+        assert len(blob) > 0 and len(blob) % 2 == 0
+
+    def test_linear_allocator(self, source_file, capsys):
+        assert main(["compile", source_file, "--ra", "linear"]) == 0
+
+
+class TestRunCommand:
+    def test_run_reports_devices(self, source_file, capsys):
+        assert main(["run", source_file, "--timer", "700"]) == 0
+        out = capsys.readouterr().out
+        assert "halted" in out
+        assert "LED writes" in out
+
+    def test_run_with_profile(self, source_file, capsys):
+        assert main(["run", source_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest sites" in out
+
+
+class TestUpdateCommand:
+    def test_update_metrics(self, source_file, edited_file, capsys):
+        assert main(["update", source_file, edited_file]) == 0
+        out = capsys.readouterr().out
+        assert "Diff_inst" in out
+        assert "script" in out
+
+    def test_update_with_script_and_cycles(self, source_file, edited_file, capsys):
+        assert main(
+            ["update", source_file, edited_file, "--script", "--cycles"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Diff_cycle" in out
+        assert "copy" in out or "replace" in out
+
+    def test_update_baseline_strategy(self, source_file, edited_file, capsys):
+        assert main(
+            ["update", source_file, edited_file, "--ra", "gcc", "--da", "gcc"]
+        ) == 0
+
+
+class TestCaseCommand:
+    def test_known_case(self, capsys):
+        assert main(["case", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc/gcc" in out and "ucc/ucc" in out
+
+    def test_unknown_case(self, capsys):
+        assert main(["case", "nope"]) == 2

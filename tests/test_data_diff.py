@@ -1,0 +1,77 @@
+"""Data-segment diff/patch tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diff import DataScript, apply_data, diff_data
+
+
+class TestDiffData:
+    def test_identical_images_empty(self):
+        script = diff_data(b"abc", b"abc")
+        assert script.is_empty
+        assert script.size_bytes == 0
+
+    def test_single_byte_change(self):
+        script = diff_data(b"abcdef", b"abXdef")
+        assert len(script.patches) == 1
+        assert script.patches[0].offset == 2
+        assert script.patches[0].data == b"X"
+
+    def test_nearby_runs_merged(self):
+        old = bytes(20)
+        new = bytearray(old)
+        new[3] = 1
+        new[5] = 2  # gap of 1 < header cost: merged
+        script = diff_data(bytes(old), bytes(new))
+        assert len(script.patches) == 1
+        assert script.patches[0].offset == 3
+
+    def test_distant_runs_separate(self):
+        old = bytes(40)
+        new = bytearray(old)
+        new[0] = 1
+        new[30] = 2
+        script = diff_data(bytes(old), bytes(new))
+        assert len(script.patches) == 2
+
+    def test_growth(self):
+        script = diff_data(b"ab", b"abcd")
+        assert apply_data(b"ab", script) == b"abcd"
+
+    def test_truncation(self):
+        script = diff_data(b"abcdef", b"abc")
+        assert apply_data(b"abcdef", script) == b"abc"
+
+    def test_empty_both(self):
+        script = diff_data(b"", b"")
+        assert apply_data(b"", script) == b""
+
+    def test_serialisation_roundtrip(self):
+        script = diff_data(b"hello world", b"hellO wOrld!")
+        back = DataScript.from_bytes(script.to_bytes())
+        assert apply_data(b"hello world", back) == b"hellO wOrld!"
+
+    def test_size_accounting(self):
+        script = diff_data(bytes(10), bytes([9] * 10))
+        # one patch: 2 (new length) + 3 (header) + 10 (payload)
+        assert script.size_bytes == 2 + 3 + 10
+        assert len(script.to_bytes()) == script.size_bytes
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_roundtrip_property(self, old, new):
+        script = diff_data(old, new)
+        assert apply_data(old, script) == new
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_wire_roundtrip_property(self, old, new):
+        script = diff_data(old, new)
+        back = DataScript.from_bytes(script.to_bytes())
+        assert apply_data(old, back) == new
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=16, max_size=64))
+    def test_self_diff_always_empty(self, blob):
+        assert diff_data(blob, blob).is_empty

@@ -1,0 +1,208 @@
+"""Edit-script, differ, patcher, and packetisation tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diff import (
+    EditScript,
+    MAX_RUN,
+    PatchError,
+    PrimOp,
+    Primitive,
+    apply_script,
+    diff_images,
+    packetize,
+    patched_words,
+    verify_patch,
+)
+from repro.isa import MachineInstr, assemble, label
+
+
+def make_image(mnemonics_and_imm):
+    """Build a tiny image from (mnemonic, imm) pairs."""
+    instrs = [label("main")]
+    for mnemonic, value in mnemonics_and_imm:
+        if mnemonic == "ldi":
+            instrs.append(MachineInstr("ldi", rd=2, imm=value))
+        elif mnemonic == "add":
+            instrs.append(MachineInstr("add", rd=2, rr=value))
+        else:
+            instrs.append(MachineInstr(mnemonic))
+    instrs.append(MachineInstr("halt"))
+    return assemble(instrs)
+
+
+class TestPrimitives:
+    def test_copy_is_one_byte(self):
+        assert Primitive(PrimOp.COPY, 5).size_bytes == 1
+
+    def test_remove_is_one_byte(self):
+        assert Primitive(PrimOp.REMOVE, 63).size_bytes == 1
+
+    def test_insert_cost_header_plus_payload(self):
+        prim = Primitive(PrimOp.INSERT, 2, words=((1,), (2, 3)))
+        assert prim.size_bytes == 1 + 2 * 3
+
+    def test_count_range_enforced(self):
+        with pytest.raises(ValueError):
+            Primitive(PrimOp.COPY, 0)
+        with pytest.raises(ValueError):
+            Primitive(PrimOp.COPY, MAX_RUN + 1)
+
+    def test_copy_carries_no_payload(self):
+        with pytest.raises(ValueError):
+            Primitive(PrimOp.COPY, 1, words=((1,),))
+
+    def test_long_runs_split(self):
+        script = EditScript()
+        script.copy(150)
+        assert [p.count for p in script.primitives] == [63, 63, 24]
+
+
+class TestScriptSerialisation:
+    def test_roundtrip(self):
+        from repro.isa import encode
+
+        script = EditScript()
+        script.copy(3)
+        words = encode(MachineInstr("add", rd=2, rr=3))
+        script.replace([words])
+        script.remove(2)
+        blob = script.to_bytes()
+        back = EditScript.from_bytes(blob)
+        assert [p.op for p in back.primitives] == [p.op for p in script.primitives]
+        assert back.size_bytes == script.size_bytes
+
+    def test_two_word_payload_parses(self):
+        from repro.isa import encode
+
+        script = EditScript()
+        script.insert([encode(MachineInstr("ldi", rd=4, imm=9))])
+        back = EditScript.from_bytes(script.to_bytes())
+        assert back.primitives[0].words[0] == encode(MachineInstr("ldi", rd=4, imm=9))
+
+    def test_empty_script(self):
+        script = EditScript()
+        assert script.size_bytes == 0
+        assert script.is_empty
+
+
+class TestDiffer:
+    def test_identical_images_copy_only(self):
+        image = make_image([("ldi", 1), ("ldi", 2)])
+        diff = diff_images(image, image)
+        assert diff.diff_inst == 0
+        assert diff.script.is_empty
+        assert diff.reused == diff.new_instructions
+
+    def test_single_instruction_change(self):
+        old = make_image([("ldi", 1), ("ldi", 2), ("ldi", 3)])
+        new = make_image([("ldi", 1), ("ldi", 9), ("ldi", 3)])
+        diff = diff_images(old, new)
+        assert diff.diff_inst == 1
+
+    def test_insertion_counts_inserted_only(self):
+        old = make_image([("ldi", 1), ("ldi", 3)])
+        new = make_image([("ldi", 1), ("ldi", 2), ("ldi", 3)])
+        diff = diff_images(old, new)
+        assert diff.diff_inst == 1
+
+    def test_deletion_costs_no_diff_inst(self):
+        old = make_image([("ldi", 1), ("ldi", 2), ("ldi", 3)])
+        new = make_image([("ldi", 1), ("ldi", 3)])
+        diff = diff_images(old, new)
+        assert diff.diff_inst == 0
+        counts = diff.script.primitive_counts()
+        assert counts["remove"] == 1
+
+    def test_diff_words_counts_words_not_instructions(self):
+        old = make_image([("ldi", 1)])
+        new = make_image([("ldi", 2)])  # ldi is a two-word instruction
+        diff = diff_images(old, new)
+        assert diff.diff_inst == 1
+        assert diff.diff_words == 2
+
+
+class TestPatcher:
+    def test_roundtrip_identity(self):
+        old = make_image([("ldi", 1), ("add", 3)])
+        diff = diff_images(old, old)
+        assert patched_words(old, diff.script) == old.words()
+
+    def test_roundtrip_modification(self):
+        old = make_image([("ldi", 1), ("add", 3), ("ldi", 7)])
+        new = make_image([("ldi", 1), ("add", 4), ("ldi", 7), ("add", 5)])
+        diff = diff_images(old, new)
+        verify_patch(old, new, diff.script)
+
+    def test_patch_error_on_wrong_base(self):
+        old = make_image([("ldi", 1), ("add", 3)])
+        new = make_image([("ldi", 2), ("add", 3)])
+        other = make_image([("ldi", 1)])  # shorter: script won't fit
+        diff = diff_images(old, new)
+        with pytest.raises(PatchError):
+            apply_script(other, diff.script)
+
+    def test_patch_detects_divergence(self):
+        old = make_image([("ldi", 1)])
+        new = make_image([("ldi", 2)])
+        wrong = make_image([("ldi", 3)])
+        diff = diff_images(old, new)
+        with pytest.raises(PatchError):
+            verify_patch(old, wrong, diff.script)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 200), min_size=0, max_size=25),
+        st.lists(st.integers(0, 200), min_size=0, max_size=25),
+    )
+    def test_patch_roundtrip_property(self, old_vals, new_vals):
+        """apply(old, diff(old, new)) == new for arbitrary programs."""
+        old = make_image([("ldi", v) for v in old_vals])
+        new = make_image([("ldi", v) for v in new_vals])
+        diff = diff_images(old, new)
+        assert patched_words(old, diff.script) == new.words()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 200), min_size=0, max_size=25),
+        st.lists(st.integers(0, 200), min_size=0, max_size=25),
+    )
+    def test_script_serialisation_roundtrip_property(self, old_vals, new_vals):
+        """Scripts survive wire serialisation byte-for-byte."""
+        old = make_image([("ldi", v) for v in old_vals])
+        new = make_image([("ldi", v) for v in new_vals])
+        script = diff_images(old, new).script
+        back = EditScript.from_bytes(script.to_bytes())
+        assert patched_words(old, back) == new.words()
+
+
+class TestPackets:
+    def test_empty_script_no_packets(self):
+        assert packetize(EditScript()).packet_count == 0
+
+    def test_packet_rounding_up(self):
+        script = EditScript()
+        script.copy(1)  # 1 byte
+        packets = packetize(script, payload_per_packet=22)
+        assert packets.packet_count == 1
+
+    def test_paper_example_one_byte_over(self):
+        """Paper §5.3: 11 primitives vs 10 -> a 100% packet increase when
+        10 fit exactly in one packet."""
+        ten = EditScript()
+        for _ in range(10):
+            ten.remove(1)
+        eleven = EditScript()
+        for _ in range(11):
+            eleven.remove(1)
+        p10 = packetize(ten, payload_per_packet=10)
+        p11 = packetize(eleven, payload_per_packet=10)
+        assert p10.packet_count == 1
+        assert p11.packet_count == 2
+
+    def test_bits_on_air_include_overhead(self):
+        script = EditScript()
+        script.copy(1)
+        packets = packetize(script, payload_per_packet=22, overhead_per_packet=12)
+        assert packets.bytes_on_air == 1 + 12

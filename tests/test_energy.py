@@ -1,0 +1,87 @@
+"""Energy-model tests (paper Figure 3, §2.1, eqs. 18-19)."""
+
+import math
+
+import pytest
+
+from repro.energy import DEFAULT_ENERGY_MODEL, EnergyModel, MICA2, WORD_BITS
+
+
+class TestPowerModel:
+    def test_figure3_values(self):
+        rows = dict(MICA2.figure3_rows())
+        assert rows["CPU active"] == "8.0mA"
+        assert rows["Tx(+10dB)"] == "21.5mA"
+        assert rows["Radio Rx"] == "7 mA"
+        assert rows["EEPROM write"] == "18.4mA"
+
+    def test_currents_match_table(self):
+        assert MICA2.cpu_active_a == pytest.approx(8.0e-3)
+        assert MICA2.radio_tx_a == pytest.approx(21.5e-3)
+        assert MICA2.cpu_standby_a == pytest.approx(216e-6)
+
+    def test_tx_bit_vs_cycle_ratio_order_of_magnitude(self):
+        """Figure 3's currents imply a tx-bit / cpu-cycle energy ratio of
+        a few hundred; the paper's headline 1000x figure additionally
+        counts protocol overheads (buffering, collisions)."""
+        ratio = MICA2.tx_bit_per_cycle_ratio
+        assert 100 < ratio < 2000
+
+    def test_battery_energy_positive(self):
+        assert MICA2.battery_j() > 20_000  # 2700 mAh at 3 V ~ 29 kJ
+
+    def test_rx_cheaper_than_tx(self):
+        assert MICA2.rx_bit_energy_j < MICA2.tx_bit_energy_j
+
+
+class TestEnergyModel:
+    def test_e_trans_is_word_bits_times_ratio(self):
+        model = EnergyModel(bit_cost_ratio=1000.0)
+        assert model.e_trans == WORD_BITS * 1000.0
+
+    def test_paper_breakeven_16000(self):
+        """§2.1: adding one instruction to save one transmitted word pays
+        off iff it executes fewer than 16,000 times (16 bits x 1000)."""
+        assert DEFAULT_ENERGY_MODEL.breakeven_executions(1, 1.0) == 16000.0
+
+    def test_breakeven_scales_with_words(self):
+        assert DEFAULT_ENERGY_MODEL.breakeven_executions(2, 1.0) == 32000.0
+
+    def test_breakeven_infinite_when_no_cycle_cost(self):
+        assert math.isinf(DEFAULT_ENERGY_MODEL.breakeven_executions(1, 0.0))
+
+    def test_diff_energy_eq18(self):
+        model = EnergyModel(bit_cost_ratio=1000.0)
+        # Diff_energy = Diff_inst*E_trans + Diff_cycle*E_exe*Cnt
+        assert model.diff_energy(3, 2.0, 100.0) == 3 * 16000.0 + 2.0 * 100.0
+
+    def test_energy_savings_eq19_sign(self):
+        model = DEFAULT_ENERGY_MODEL
+        # UCC transmits less, executes the same -> positive savings.
+        savings = model.energy_savings(10, 0.0, 4, 0.0, cnt=1000)
+        assert savings == 6 * model.e_trans
+
+    def test_savings_diminish_with_cnt_when_ucc_slower(self):
+        """§5.5: extra mov cycles erode the savings as Cnt grows."""
+        model = DEFAULT_ENERGY_MODEL
+        small = model.energy_savings(10, 0.0, 4, 3.0, cnt=10)
+        large = model.energy_savings(10, 0.0, 4, 3.0, cnt=10_000_000)
+        assert small > 0
+        assert large < small
+
+    def test_crossover_cnt_exists(self):
+        """There is a Cnt beyond which UCC-with-movs loses — exactly why
+        UCC-RA falls back to the baseline at huge Cnt."""
+        model = DEFAULT_ENERGY_MODEL
+        crossover = model.e_trans_words(6) / 3.0
+        just_below = model.energy_savings(10, 0.0, 4, 3.0, cnt=crossover * 0.9)
+        just_above = model.energy_savings(10, 0.0, 4, 3.0, cnt=crossover * 1.1)
+        assert just_below > 0 > just_above
+
+    def test_custom_ratio(self):
+        cheap_radio = EnergyModel(bit_cost_ratio=10.0)
+        assert cheap_radio.e_trans == 160.0
+        assert cheap_radio.breakeven_executions(1, 1.0) == 160.0
+
+    def test_mem_instruction_costs_more(self):
+        assert DEFAULT_ENERGY_MODEL.e_exe_mem > DEFAULT_ENERGY_MODEL.e_exe

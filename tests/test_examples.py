@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run clean and tell its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["UCC saves", "byte-identical"],
+    "ota_campaign.py": ["campaign totals", "network energy"],
+    "energy_tradeoff.py": ["16,000 executions", "chosen"],
+    "data_layout_demo.py": ["UCC-DA relayout", "Diff_inst"],
+    "ilp_playground.py": ["binary variables", "SAME decisions"],
+    "lossy_network_update.py": ["hottest sites", "mJ"],
+}
+
+
+def run_example(name: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs_and_reports(name):
+    stdout = run_example(name)
+    for snippet in EXPECTED_SNIPPETS[name]:
+        assert snippet in stdout, f"{name} output missing {snippet!r}"
+
+
+def test_every_example_file_is_covered():
+    files = {
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    }
+    assert files == set(EXPECTED_SNIPPETS)

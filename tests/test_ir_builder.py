@@ -1,0 +1,182 @@
+"""IR lowering unit tests."""
+
+import pytest
+
+from repro.ir import IROp, Imm, MemRef, VReg, build_ir
+from repro.lang import frontend
+
+
+def lower(source):
+    return build_ir(frontend(source))
+
+
+def fn_ops(source, name="f"):
+    return [ins.op for ins in lower(source).functions[name].instrs]
+
+
+class TestScalarLowering:
+    def test_local_becomes_named_vreg(self):
+        mod = lower("void f() { u8 x = 3; }")
+        instrs = mod.functions["f"].instrs
+        assert instrs[0].op is IROp.MOV
+        assert instrs[0].dst.name == "f.x"
+
+    def test_uninitialised_local_zeroed(self):
+        mod = lower("void f() { u8 x; }")
+        ins = mod.functions["f"].instrs[0]
+        assert ins.op is IROp.MOV
+        assert isinstance(ins.args[0], Imm) and ins.args[0].value == 0
+
+    def test_global_access_is_explicit_load(self):
+        mod = lower("u8 g; void f() { u8 x = g; }")
+        ops = [i.op for i in mod.functions["f"].instrs]
+        assert IROp.LOADG in ops
+
+    def test_global_assignment_is_store(self):
+        ops = fn_ops("u8 g; void f() { g = 1; }")
+        assert IROp.STOREG in ops
+
+    def test_compound_global_assign_loads_and_stores(self):
+        ops = fn_ops("u8 g; void f() { g += 2; }")
+        assert ops.count(IROp.LOADG) == 1
+        assert ops.count(IROp.STOREG) == 1
+
+    def test_param_vregs_use_symbol_uids(self):
+        mod = lower("void f(u8 a, u16 b) { }")
+        names = [r.name for r in mod.functions["f"].param_vregs]
+        assert names == ["f.a", "f.b"]
+
+    def test_cast_emitted_on_width_change(self):
+        ops = fn_ops("void f(u8 a) { u16 x = a; }")
+        assert IROp.CAST in ops
+
+
+class TestTemporaries:
+    def test_temp_names_carry_statement_id(self):
+        mod = lower("u8 g; void f() { u8 x = g + 1; }")
+        temps = [r for i in mod.functions["f"].instrs for r in i.vregs() if r.is_temp]
+        assert temps
+        assert all(r.name.startswith("$") for r in temps)
+
+    def test_temp_numbering_restarts_per_statement(self):
+        src = "u8 g; void f() { u8 x = g + 1; u8 y = g + 2; }"
+        mod = lower(src)
+        locals_ = {}
+        for ins in mod.functions["f"].instrs:
+            for reg in ins.vregs():
+                if reg.is_temp:
+                    locals_.setdefault(ins.stmt_id, set()).add(reg.local_temp_name)
+        assert len(locals_) == 2
+        first, second = locals_.values()
+        assert first == second  # same statement-local names
+
+    def test_normalized_render_masks_statement_ids(self):
+        mod = lower("u8 g; void f() { u8 x = g + 1; u8 y = g + 1; }")
+        instrs = mod.functions["f"].instrs
+        loads = [i for i in instrs if i.op is IROp.LOADG]
+        assert len(loads) == 2
+        assert loads[0].normalized() == loads[1].normalized()
+        assert loads[0].render() != loads[1].render()  # raw names differ
+
+
+class TestArrays:
+    def test_array_read_is_loadidx(self):
+        ops = fn_ops("u8 t[4]; void f() { u8 x = t[1]; }")
+        assert IROp.LOADIDX in ops
+
+    def test_array_write_is_storeidx(self):
+        ops = fn_ops("u8 t[4]; void f() { t[1] = 2; }")
+        assert IROp.STOREIDX in ops
+
+    def test_local_array_registered(self):
+        mod = lower("void f() { u8 t[4]; t[0] = 1; }")
+        assert [s.uid for s in mod.functions["f"].local_arrays] == ["f.t"]
+
+    def test_local_array_init_list_stores_each(self):
+        mod = lower("void f() { u8 t[3] = {1, 2, 3}; }")
+        stores = [i for i in mod.functions["f"].instrs if i.op is IROp.STOREIDX]
+        assert len(stores) == 3
+
+
+class TestControlFlow:
+    def test_if_produces_cbr(self):
+        ops = fn_ops("void f(u8 a) { if (a) { halt(); } }")
+        assert IROp.CBR in ops
+
+    def test_comparison_condition_feeds_cbr(self):
+        mod = lower("void f(u8 a) { if (a > 3) { halt(); } }")
+        instrs = mod.functions["f"].instrs
+        cbr = next(i for i in instrs if i.op is IROp.CBR)
+        cmp_idx = next(
+            idx for idx, i in enumerate(instrs) if i.op is IROp.CMPGT
+        )
+        assert instrs[cmp_idx].dst.name == cbr.args[0].name
+
+    def test_short_circuit_and_lowers_to_branches(self):
+        ops = fn_ops("void f(u8 a, u8 b) { if (a && b) { halt(); } }")
+        assert ops.count(IROp.CBR) == 2  # one per operand
+
+    def test_short_circuit_as_value(self):
+        src = "void f(u8 a, u8 b) { u8 x = a || b; }"
+        ops = fn_ops(src)
+        assert IROp.CBR in ops and IROp.MOV in ops
+
+    def test_while_loop_shape(self):
+        ops = fn_ops("void f(u8 a) { while (a) { a = a - 1; } }")
+        assert IROp.JUMP in ops
+
+    def test_break_jumps_to_exit(self):
+        mod = lower("void f() { while (1) { break; } }")
+        fn = mod.functions["f"]
+        jumps = [i for i in fn.instrs if i.op is IROp.JUMP]
+        labels = fn.labels()
+        assert all(j.args[0].name in labels for j in jumps)
+
+    def test_implicit_return_added(self):
+        mod = lower("void f() { }")
+        assert mod.functions["f"].instrs[-1].op is IROp.RET
+
+    def test_nonvoid_implicit_return_zero(self):
+        mod = lower("u8 f() { }")
+        last = mod.functions["f"].instrs[-1]
+        assert last.op is IROp.RET
+        assert isinstance(last.args[0], Imm)
+
+
+class TestCallsAndBuiltins:
+    def test_call_with_result(self):
+        src = "u8 g(u8 a) { return a; } void f() { u8 x = g(1); }"
+        mod = lower(src)
+        call = next(i for i in mod.functions["f"].instrs if i.op is IROp.CALL)
+        assert call.dst is not None
+        assert call.args[0] == "g"
+
+    def test_void_call_has_no_dst(self):
+        src = "void g() { } void f() { g(); }"
+        mod = lower(src)
+        call = next(i for i in mod.functions["f"].instrs if i.op is IROp.CALL)
+        assert call.dst is None
+
+    def test_led_set_is_iowrite(self):
+        ops = fn_ops("void f() { led_set(3); }")
+        assert IROp.IOWRITE in ops
+
+    def test_timer_fired_is_ioread(self):
+        ops = fn_ops("void f() { u8 t = timer_fired(); }")
+        assert IROp.IOREAD in ops
+
+    def test_halt_lowering(self):
+        ops = fn_ops("void f() { halt(); }")
+        assert IROp.HALT in ops
+
+    def test_instruction_has_at_most_two_distinct_variables(self):
+        """Paper §3.4 relies on IR instructions having <= 2 operands."""
+        from repro.workloads import PROGRAMS
+
+        for src in PROGRAMS.values():
+            mod = lower(src)
+            for fn in mod.functions.values():
+                for ins in fn.instrs:
+                    if ins.op in (IROp.CALL,):
+                        continue  # calls aggregate arguments
+                    assert len(ins.variables()) <= 3  # dst + two sources

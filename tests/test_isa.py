@@ -1,0 +1,186 @@
+"""ISA encoding/decoding and assembler tests, incl. hypothesis roundtrips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AssemblyError,
+    EncodingError,
+    MachineInstr,
+    OPCODES,
+    assemble,
+    decode,
+    disassemble_words,
+    encode,
+    label,
+)
+from repro.isa.instructions import F_ADDR, F_BR, F_IMM, F_NONE, F_RR
+
+
+class TestOpcodeTable:
+    def test_opcodes_unique(self):
+        numbers = [spec.opcode for spec in OPCODES.values()]
+        assert len(numbers) == len(set(numbers))
+
+    def test_opcodes_fit_six_bits(self):
+        assert all(0 < spec.opcode < 64 for spec in OPCODES.values())
+
+    def test_cycle_costs_positive(self):
+        assert all(spec.cycles >= 1 for spec in OPCODES.values())
+
+    def test_memory_ops_cost_two_cycles(self):
+        for mnemonic in ("lds", "sts", "ld_z", "st_z"):
+            assert OPCODES[mnemonic].cycles == 2
+
+    def test_call_ret_cost_four(self):
+        assert OPCODES["call"].cycles == 4
+        assert OPCODES["ret"].cycles == 4
+
+
+class TestEncoding:
+    def test_rr_roundtrip(self):
+        instr = MachineInstr("add", rd=5, rr=17)
+        words = encode(instr)
+        assert len(words) == 1
+        back, consumed = decode(list(words), 0)
+        assert (back.mnemonic, back.rd, back.rr) == ("add", 5, 17)
+        assert consumed == 1
+
+    def test_imm_roundtrip(self):
+        instr = MachineInstr("ldi", rd=16, imm=0xAB)
+        words = encode(instr)
+        assert len(words) == 2
+        back, consumed = decode(list(words), 0)
+        assert (back.mnemonic, back.rd, back.imm) == ("ldi", 16, 0xAB)
+
+    def test_addr_roundtrip(self):
+        instr = MachineInstr("lds", rd=3, addr=0x0123)
+        back, _ = decode(list(encode(instr)), 0)
+        assert (back.mnemonic, back.rd, back.addr) == ("lds", 3, 0x0123)
+
+    def test_branch_negative_offset_roundtrip(self):
+        instr = MachineInstr("rjmp", addr=-12)
+        back, _ = decode(list(encode(instr)), 0)
+        assert back.addr == -12
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(MachineInstr("add", rd=32, rr=0))
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(MachineInstr("ldi", rd=1, imm=256))
+
+    def test_branch_offset_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(MachineInstr("breq", addr=600))
+
+    def test_register_rename_changes_exactly_one_word(self):
+        a = encode(MachineInstr("add", rd=4, rr=7))
+        b = encode(MachineInstr("add", rd=5, rr=7))
+        assert a != b and len(a) == len(b) == 1
+
+    def test_address_change_keeps_first_word(self):
+        a = encode(MachineInstr("lds", rd=4, addr=0x100))
+        b = encode(MachineInstr("lds", rd=4, addr=0x101))
+        assert a[0] == b[0] and a[1] != b[1]
+
+    @given(st.sampled_from(sorted(OPCODES)), st.integers(0, 31),
+           st.integers(0, 31), st.integers(0, 255), st.integers(0, 0xFFFF),
+           st.integers(-512, 511))
+    def test_encode_decode_roundtrip(self, mnemonic, rd, rr, imm, addr, offset):
+        spec = OPCODES[mnemonic]
+        instr = MachineInstr(mnemonic)
+        if spec.fmt == F_RR:
+            instr.rd, instr.rr = rd, rr
+        elif spec.fmt == F_IMM:
+            instr.rd, instr.imm = rd, imm
+        elif spec.fmt == F_ADDR:
+            instr.rd, instr.addr = rd, addr
+        elif spec.fmt == F_BR:
+            instr.addr = offset
+        words = encode(instr)
+        back, consumed = decode(list(words), 0)
+        assert consumed == len(words)
+        assert encode(back) == words  # stable re-encoding
+
+
+class TestAssembler:
+    def test_forward_branch_resolution(self):
+        prog = [
+            label("main"),
+            MachineInstr("breq", target="main.done"),
+            MachineInstr("nop"),
+            label("main.done"),
+            MachineInstr("halt"),
+        ]
+        image = assemble(prog)
+        breq = image.code[0].instr
+        assert breq.addr == 1  # skip the nop
+
+    def test_backward_branch_resolution(self):
+        prog = [
+            label("main"),
+            label("main.loop"),
+            MachineInstr("nop"),
+            MachineInstr("rjmp", target="main.loop"),
+        ]
+        image = assemble(prog)
+        rjmp = image.code[1].instr
+        assert rjmp.addr == -2
+
+    def test_call_gets_absolute_address(self):
+        prog = [
+            label("helper"),
+            MachineInstr("ret"),
+            label("main"),
+            MachineInstr("call", target="helper"),
+            MachineInstr("halt"),
+        ]
+        image = assemble(prog)
+        call = next(e.instr for e in image.code if e.instr.mnemonic == "call")
+        assert call.addr == image.symbols["helper"] == 0
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([label("main"), MachineInstr("rjmp", target="nowhere")])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([label("main"), label("main"), MachineInstr("halt")])
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([label("not_main"), MachineInstr("halt")])
+
+    def test_word_addresses_account_for_two_word_instrs(self):
+        prog = [
+            label("main"),
+            MachineInstr("ldi", rd=2, imm=1),  # 2 words
+            MachineInstr("nop"),
+            label("main.end"),
+        ]
+        image = assemble(prog)
+        assert image.symbols["main.end"] == 3
+
+    def test_disassemble_words_roundtrip(self):
+        prog = [
+            label("main"),
+            MachineInstr("ldi", rd=2, imm=7),
+            MachineInstr("add", rd=2, rr=3),
+            MachineInstr("halt"),
+        ]
+        image = assemble(prog)
+        back = disassemble_words(image.words())
+        assert [i.mnemonic for i in back] == ["ldi", "add", "halt"]
+
+    def test_image_byte_serialisation(self):
+        prog = [label("main"), MachineInstr("halt")]
+        image = assemble(prog)
+        raw = image.to_bytes()
+        assert len(raw) == 2 * image.size_words
+
+    def test_disassembly_listing_mentions_labels(self):
+        prog = [label("main"), MachineInstr("halt")]
+        listing = assemble(prog).disassemble()
+        assert "main:" in listing and "halt" in listing

@@ -1,0 +1,117 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        toks = tokenize("counter")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].value == "counter"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("tosh_run_next_task2") == ["tosh_run_next_task2"]
+
+    def test_keywords_are_distinguished(self):
+        toks = tokenize("u8 u16 void if else while for return break continue const")
+        assert all(t.kind is TokenKind.KEYWORD for t in toks[:-1])
+
+    def test_keyword_prefix_is_identifier(self):
+        toks = tokenize("u8x iffy")
+        assert [t.kind for t in toks[:-1]] == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_decimal_literal(self):
+        assert values("42") == [42]
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_hex_literal(self):
+        assert values("0x1b") == [0x1B]
+
+    def test_hex_uppercase(self):
+        assert values("0XFF") == [0xFF]
+
+    def test_char_literal(self):
+        assert values("'A'") == [65]
+
+    def test_char_escapes(self):
+        assert values(r"'\n' '\t' '\0' '\\'") == [10, 9, 0, 92]
+
+    def test_punctuators_maximal_munch(self):
+        assert values("<<= >>= << >> <= >= == != && || ++ --") == [
+            "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+        ]
+
+    def test_compound_assign_operators(self):
+        assert values("+= -= *= /= %= &= |= ^=") == [
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+        ]
+
+
+class TestTrivia:
+    def test_whitespace_skipped(self):
+        assert values("  a \t b \n c ") == ["a", "b", "c"]
+
+    def test_line_comment(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].location.line, toks[0].location.column) == (1, 1)
+        assert (toks[1].location.line, toks[1].location.column) == (2, 3)
+
+    def test_filename_recorded(self):
+        toks = tokenize("a", filename="blink.c")
+        assert toks[0].location.filename == "blink.c"
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_malformed_number_suffix(self):
+        with pytest.raises(LexError):
+            tokenize("12ab")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\n   @")
+        assert excinfo.value.location.line == 2

@@ -1,0 +1,194 @@
+"""Direct machine-level semantics tests (flags, carry chains).
+
+These bypass the compiler: hand-assembled instruction sequences check
+the simulator's AVR-style flag behaviour — the foundation the compiled
+carry chains (ADD/ADC, SUB/SBC, CP/CPC, shifts through carry) rest on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import MachineInstr, assemble, label
+from repro.sim import Simulator
+
+
+def run_instrs(*instrs, setup_regs=None):
+    program = [label("main"), *instrs, MachineInstr("halt")]
+    image = assemble(program)
+    sim = Simulator(image)
+    for reg, value in (setup_regs or {}).items():
+        sim.set_reg(reg, value)
+    sim.run()
+    return sim
+
+
+class TestCarryChains:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_16bit_add_chain(self, a, b):
+        sim = run_instrs(
+            MachineInstr("add", rd=2, rr=4),
+            MachineInstr("adc", rd=3, rr=5),
+            setup_regs={2: a & 0xFF, 3: a >> 8, 4: b & 0xFF, 5: b >> 8},
+        )
+        assert sim.pair(2) == (a + b) & 0xFFFF
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_16bit_sub_chain(self, a, b):
+        sim = run_instrs(
+            MachineInstr("sub", rd=2, rr=4),
+            MachineInstr("sbc", rd=3, rr=5),
+            setup_regs={2: a & 0xFF, 3: a >> 8, 4: b & 0xFF, 5: b >> 8},
+        )
+        assert sim.pair(2) == (a - b) & 0xFFFF
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 255))
+    def test_16bit_immediate_subtract(self, a, imm):
+        sim = run_instrs(
+            MachineInstr("subi", rd=2, imm=imm),
+            MachineInstr("sbci", rd=3, imm=0),
+            setup_regs={2: a & 0xFF, 3: a >> 8},
+        )
+        assert sim.pair(2) == (a - imm) & 0xFFFF
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF))
+    def test_16bit_left_shift_through_carry(self, a):
+        sim = run_instrs(
+            MachineInstr("lsl", rd=2),
+            MachineInstr("rol", rd=3),
+            setup_regs={2: a & 0xFF, 3: a >> 8},
+        )
+        assert sim.pair(2) == (a << 1) & 0xFFFF
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF))
+    def test_16bit_right_shift_through_carry(self, a):
+        sim = run_instrs(
+            MachineInstr("lsr", rd=3),
+            MachineInstr("ror", rd=2),
+            setup_regs={2: a & 0xFF, 3: a >> 8},
+        )
+        assert sim.pair(2) == a >> 1
+
+
+class TestCompareFlags:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_16bit_compare_brlo(self, a, b):
+        """CP/CPC then BRLO implements unsigned 16-bit less-than."""
+        sim = run_instrs(
+            MachineInstr("cp", rd=2, rr=4),
+            MachineInstr("cpc", rd=3, rr=5),
+            MachineInstr("brlo", target="main.less"),
+            MachineInstr("ldi", rd=20, imm=0),
+            MachineInstr("rjmp", target="main.end"),
+            label("main.less"),
+            MachineInstr("ldi", rd=20, imm=1),
+            label("main.end"),
+            setup_regs={2: a & 0xFF, 3: a >> 8, 4: b & 0xFF, 5: b >> 8},
+        )
+        assert sim.reg(20) == int(a < b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_16bit_compare_breq(self, a, b):
+        """CPC keeps Z only if every byte compared equal."""
+        sim = run_instrs(
+            MachineInstr("cp", rd=2, rr=4),
+            MachineInstr("cpc", rd=3, rr=5),
+            MachineInstr("breq", target="main.eq"),
+            MachineInstr("ldi", rd=20, imm=0),
+            MachineInstr("rjmp", target="main.end"),
+            label("main.eq"),
+            MachineInstr("ldi", rd=20, imm=1),
+            label("main.end"),
+            setup_regs={2: a & 0xFF, 3: a >> 8, 4: b & 0xFF, 5: b >> 8},
+        )
+        assert sim.reg(20) == int(a == b)
+
+    def test_cpc_does_not_set_z_on_zero_high_byte_alone(self):
+        # a = 0x0100, b = 0x0200: low bytes equal (Z set by CP), high
+        # bytes differ -> CPC must clear Z.
+        sim = run_instrs(
+            MachineInstr("cp", rd=2, rr=4),
+            MachineInstr("cpc", rd=3, rr=5),
+            MachineInstr("breq", target="main.eq"),
+            MachineInstr("ldi", rd=20, imm=0),
+            MachineInstr("rjmp", target="main.end"),
+            label("main.eq"),
+            MachineInstr("ldi", rd=20, imm=1),
+            label("main.end"),
+            setup_regs={2: 0x00, 3: 0x01, 4: 0x00, 5: 0x02},
+        )
+        assert sim.reg(20) == 0
+
+
+class TestMemoryAndPointer:
+    def test_post_increment_load(self):
+        from repro.isa import devices
+
+        program = [
+            label("main"),
+            MachineInstr("ldi", rd=30, imm=0x00),
+            MachineInstr("ldi", rd=31, imm=0x01),  # Z = 0x0100
+            MachineInstr("ld_zp", rd=4),
+            MachineInstr("ld_z", rd=5),
+            MachineInstr("halt"),
+        ]
+        image = assemble(program)
+        sim = Simulator(image)
+        sim.store(0x0100, 0x34)
+        sim.store(0x0101, 0x12)
+        sim.run()
+        assert sim.reg(4) == 0x34
+        assert sim.reg(5) == 0x12
+        assert sim.pair(30) == 0x0101  # post-incremented once
+
+    def test_push_pop_lifo(self):
+        sim = run_instrs(
+            MachineInstr("ldi", rd=2, imm=7),
+            MachineInstr("ldi", rd=3, imm=9),
+            MachineInstr("push", rd=2),
+            MachineInstr("push", rd=3),
+            MachineInstr("pop", rd=4),
+            MachineInstr("pop", rd=5),
+        )
+        assert sim.reg(4) == 9
+        assert sim.reg(5) == 7
+
+    def test_call_ret_roundtrip(self):
+        program = [
+            label("helper"),
+            MachineInstr("ldi", rd=24, imm=42),
+            MachineInstr("ret"),
+            label("main"),
+            MachineInstr("call", target="helper"),
+            MachineInstr("mov", rd=2, rr=24),
+            MachineInstr("halt"),
+        ]
+        image = assemble(program)
+        sim = Simulator(image)
+        sim.run()
+        assert sim.reg(2) == 42
+
+
+class TestCycleCosts:
+    def test_taken_branch_costs_one_more(self):
+        taken = run_instrs(
+            MachineInstr("clr", rd=2),  # sets Z
+            MachineInstr("breq", target="main.t"),
+            label("main.t"),
+        )
+        not_taken = run_instrs(
+            MachineInstr("ldi", rd=2, imm=1),
+            MachineInstr("cp", rd=2, rr=1),  # r1 = 0 -> Z clear
+            MachineInstr("breq", target="main.t"),
+            label("main.t"),
+        )
+        # taken: clr(1) + breq(1+1) + halt(1) = 4
+        # not taken: ldi(1) + cp(1) + breq(1) + halt(1) = 4
+        assert taken.cycles == 4
+        assert not_taken.cycles == 4

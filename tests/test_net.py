@@ -1,0 +1,138 @@
+"""Network substrate tests: topologies, dissemination, report model."""
+
+import pytest
+
+from repro.diff import EditScript, packetize
+from repro.energy import MICA2
+from repro.net import (
+    ReportModel,
+    Topology,
+    disseminate,
+    grid,
+    line,
+    random_geometric,
+)
+
+
+def script_of_bytes(n):
+    script = EditScript()
+    remaining = n
+    while remaining > 0:
+        take = min(remaining, 60)
+        script.remove(take)  # 'take' one-byte primitives? no: one primitive
+        remaining -= take
+    return script
+
+
+class TestTopologies:
+    def test_line_hops(self):
+        topo = line(71)
+        assert topo.max_hops() == 70  # the paper's 70-hop report example
+
+    def test_grid_connected(self):
+        topo = grid(6, 5)
+        assert topo.node_count == 30
+        assert topo.is_connected()
+
+    def test_grid_corner_distance(self):
+        topo = grid(4, 4)
+        assert topo.hops_from_sink()[15] == 6  # manhattan distance
+
+    def test_random_geometric_connected_and_deterministic(self):
+        a = random_geometric(40, radio_range=0.35, seed=3)
+        b = random_geometric(40, radio_range=0.35, seed=3)
+        assert a.is_connected()
+        assert a.positions == b.positions
+
+    def test_random_geometric_unreachable_raises(self):
+        with pytest.raises(ValueError):
+            random_geometric(50, radio_range=0.01, seed=1, max_attempts=3)
+
+    def test_path_to_sink_descends(self):
+        topo = grid(5, 5)
+        path = topo.path_to_sink(24)
+        hops = topo.hops_from_sink()
+        for a, b in zip(path, path[1:]):
+            assert hops[b] == hops[a] - 1
+        assert path[-1] == 0
+
+
+class TestDissemination:
+    def _packets(self, script_bytes=40):
+        script = EditScript()
+        total = 0
+        while total < script_bytes:
+            script.remove(1)
+            total += 1
+        return packetize(script)
+
+    def test_every_node_pays_energy(self):
+        topo = grid(4, 4)
+        result = disseminate(topo, self._packets())
+        assert len(result.ledgers) == 16
+        for node in range(1, 16):
+            assert result.ledgers[node].total_j > 0
+
+    def test_energy_scales_with_script_size(self):
+        topo = grid(4, 4)
+        small = disseminate(topo, self._packets(10))
+        large = disseminate(topo, self._packets(200))
+        assert large.total_energy_j > small.total_energy_j
+
+    def test_energy_scales_with_network_size(self):
+        packets = self._packets()
+        small = disseminate(grid(3, 3), packets)
+        large = disseminate(grid(6, 6), packets)
+        assert large.total_energy_j > small.total_energy_j
+
+    def test_rx_dominates_in_dense_networks(self):
+        """With flooding, each node receives from every neighbour, so
+        total Rx energy exceeds total Tx energy in any graph with more
+        edges than nodes."""
+        topo = grid(5, 5)
+        result = disseminate(topo, self._packets())
+        assert result.total_rx_j > result.total_tx_j
+
+    def test_no_packets_no_radio_energy(self):
+        topo = grid(3, 3)
+        result = disseminate(topo, packetize(EditScript()))
+        assert result.total_energy_j == 0.0
+
+    def test_rounds_equal_network_depth(self):
+        topo = line(10)
+        result = disseminate(topo, self._packets())
+        assert result.rounds == 9
+
+
+class TestReportModel:
+    def test_seventy_hop_example(self):
+        """Paper §2.1: an event at 70 hops runs processing code once and
+        transmission code 70 times."""
+        topo = line(71)
+        model = ReportModel(topo)
+        weight = model.processing_vs_transmission_weight(70)
+        assert weight == 70
+
+    def test_report_cost_grows_with_distance(self):
+        topo = line(20)
+        model = ReportModel(topo)
+        near, near_hops = model.report_cost(2, 1000, 500)
+        far, far_hops = model.report_cost(19, 1000, 500)
+        assert far > near
+        assert far_hops > near_hops
+
+    def test_transmission_cycles_weighted_by_hops(self):
+        topo = line(11)
+        model = ReportModel(topo)
+        slow_tx, _ = model.report_cost(10, 1000, 2000)
+        fast_tx, _ = model.report_cost(10, 1000, 1000)
+        # 10 hops x 1000 extra cycles of transmission code
+        expected_delta = 10 * 1000 * MICA2.cycle_energy_j
+        assert slow_tx - fast_tx == pytest.approx(expected_delta)
+
+    def test_processing_cycles_weighted_once(self):
+        topo = line(11)
+        model = ReportModel(topo)
+        slow_p, _ = model.report_cost(10, 2000, 1000)
+        fast_p, _ = model.report_cost(10, 1000, 1000)
+        assert slow_p - fast_p == pytest.approx(1000 * MICA2.cycle_energy_j)

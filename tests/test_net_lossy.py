@@ -1,0 +1,71 @@
+"""Lossy-dissemination tests."""
+
+import pytest
+
+from repro.diff import EditScript, packetize
+from repro.net import disseminate_lossy, grid, line
+
+
+def make_packets(script_bytes=60):
+    script = EditScript()
+    for _ in range(script_bytes):
+        script.remove(1)
+    return packetize(script)
+
+
+class TestLossyDissemination:
+    def test_zero_loss_completes_in_depth_rounds(self):
+        topo = line(6)
+        result = disseminate_lossy(topo, make_packets(), loss=0.0, seed=3)
+        assert result.complete
+        assert result.rounds >= topo.max_hops()
+
+    def test_all_nodes_receive_everything(self):
+        topo = grid(4, 4)
+        result = disseminate_lossy(topo, make_packets(), loss=0.3, seed=7)
+        assert result.complete
+
+    def test_deterministic_given_seed(self):
+        topo = grid(3, 3)
+        a = disseminate_lossy(topo, make_packets(), loss=0.2, seed=11)
+        b = disseminate_lossy(topo, make_packets(), loss=0.2, seed=11)
+        assert a.broadcasts == b.broadcasts
+        assert a.total_energy_j == b.total_energy_j
+
+    def test_loss_increases_energy(self):
+        topo = grid(4, 4)
+        clean = disseminate_lossy(topo, make_packets(), loss=0.0, seed=5)
+        lossy = disseminate_lossy(topo, make_packets(), loss=0.4, seed=5)
+        assert lossy.total_energy_j > clean.total_energy_j
+        assert lossy.broadcasts > clean.broadcasts
+
+    def test_loss_amplifies_script_size_savings(self):
+        """A smaller script saves even more joules on lossy links."""
+        topo = grid(4, 4)
+        small, big = make_packets(30), make_packets(120)
+        saving_clean = (
+            disseminate_lossy(topo, big, loss=0.0, seed=2).total_energy_j
+            - disseminate_lossy(topo, small, loss=0.0, seed=2).total_energy_j
+        )
+        saving_lossy = (
+            disseminate_lossy(topo, big, loss=0.3, seed=2).total_energy_j
+            - disseminate_lossy(topo, small, loss=0.3, seed=2).total_energy_j
+        )
+        assert saving_clean > 0
+        assert saving_lossy > saving_clean
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            disseminate_lossy(line(3), make_packets(), loss=1.0)
+
+    def test_nacks_counted(self):
+        topo = line(4)
+        result = disseminate_lossy(topo, make_packets(), loss=0.2, seed=9)
+        assert result.nacks > 0
+
+    def test_empty_script_trivially_complete(self):
+        topo = grid(3, 3)
+        result = disseminate_lossy(topo, packetize(EditScript()), loss=0.5)
+        assert result.complete
+        assert result.rounds == 0
+        assert result.total_energy_j == 0.0

@@ -1,0 +1,74 @@
+"""Profile-guided update planning (paper §2.1's execution profiles)."""
+
+import pytest
+
+from repro.core import UpdatePlanner, compile_source, plan_update, profile_program
+from repro.workloads import CASES
+
+
+class TestProfileCollection:
+    def test_profile_program_returns_counts(self, compiled_programs):
+        result = profile_program(compiled_programs["CntToLeds"])
+        assert result.halted
+        assert result.profile
+        freqs = result.ir_frequencies("timer_handle_fire")
+        assert freqs and max(freqs.values()) > 0
+
+    def test_loop_bodies_hotter_than_prologue(self, compiled_programs):
+        result = profile_program(compiled_programs["Blink"])
+        freqs = result.ir_frequencies("main")
+        # the scheduler loop runs 600 times; entry code runs once
+        assert max(freqs.values()) >= 100 * min(freqs.values())
+
+
+class TestProfileGuidedPlanning:
+    def test_profiled_plan_round_trips(self, compiled_case_olds):
+        from repro.diff.patcher import patched_words
+
+        case = CASES["6"]
+        old = compiled_case_olds["6"]
+        planner = UpdatePlanner(old, profile=profile_program(old))
+        result = planner.plan(case.new_source)
+        assert (
+            patched_words(old.image, result.diff.script)
+            == result.new.image.words()
+        )
+
+    def test_profiled_and_static_agree_on_clean_cases(self, compiled_case_olds):
+        """Where no energy decision is marginal, the profile changes
+        nothing (cases whose UCC compile ties the static plan)."""
+        case = CASES["1"]
+        old = compiled_case_olds["1"]
+        static = plan_update(old, case.new_source)
+        profiled = UpdatePlanner(old, profile=profile_program(old)).plan(
+            case.new_source
+        )
+        assert static.diff_inst == profiled.diff_inst
+
+    def test_profile_gates_move_on_measured_heat(self):
+        """A mov inside code the profile shows to be *hot* is rejected
+        at an expected_runs level where the static estimate (which has
+        no loop around the mov site) would accept it."""
+        tail = "\n".join("        g = g ^ b;" for _ in range(8))
+        old_src = (
+            "u8 g;\nvoid f(u8 a) {\n    g = g + a;\n    u8 b = g & 3;\n"
+            + tail
+            + "\n}\nvoid main() { u16 i; for (i = 0; i < 400; i++) { f(1); } halt(); }"
+        )
+        new_src = old_src.replace(
+            "    u8 b = g & 3;\n",
+            "    u8 b = g & 3;\n    g = g + a;\n",
+        )
+        old = compile_source(old_src)
+        # Static estimate: f's body has frequency 1 (no loop inside f),
+        # so at expected_runs=1 the mov is inserted.
+        static = plan_update(old, new_src, ra="ucc", expected_runs=1.0)
+        assert static.moves_inserted() == 1
+        # The profile knows f runs 400 times per run of the program: the
+        # mov executes 400x per run, making it 400x more expensive.
+        profile = profile_program(old)
+        hot = UpdatePlanner(old, expected_runs=50.0, profile=profile).plan(
+            new_src, ra="ucc"
+        )
+        cold = UpdatePlanner(old, expected_runs=50.0).plan(new_src, ra="ucc")
+        assert cold.moves_inserted() >= hot.moves_inserted()

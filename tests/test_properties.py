@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compile_source, plan_update
+from repro.datalayout import (
+    DataLayout,
+    LayoutObject,
+    allocate_gcc_da,
+    allocate_ucc_da,
+)
+from repro.diff.patcher import patched_words
+from repro.ir import analyze, build_ir
+from repro.lang import frontend
+from repro.regalloc import (
+    allocate_graph_coloring,
+    allocate_linear_scan,
+    verify_allocation,
+)
+
+# ---------------------------------------------------------------------------
+# Data layout properties
+# ---------------------------------------------------------------------------
+
+_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4).map(lambda s: "v_" + s),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+
+
+def _objects(names, sizes):
+    return [
+        LayoutObject(uid=name, size=size, function="f", usage=i + 1)
+        for i, (name, size) in enumerate(zip(names, sizes))
+    ]
+
+
+class TestLayoutProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_names, st.data())
+    def test_gcc_da_never_overlaps(self, names, data):
+        sizes = [data.draw(st.integers(1, 4)) for _ in names]
+        layout = allocate_gcc_da(_objects(names, sizes))
+        layout.check()  # raises on overlap
+        assert layout.used_bytes == sum(sizes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, st.data())
+    def test_ucc_da_survivors_never_move(self, names, data):
+        sizes = [data.draw(st.integers(1, 4)) for _ in names]
+        objects = _objects(names, sizes)
+        old = allocate_gcc_da(objects)
+        # randomly delete some, add some
+        keep = [o for o in objects if data.draw(st.booleans())]
+        new_count = data.draw(st.integers(0, 3))
+        newcomers = [
+            LayoutObject(uid=f"new{i}", size=data.draw(st.integers(1, 4)), function="f")
+            for i in range(new_count)
+        ]
+        layout, _ = allocate_ucc_da(keep + newcomers, old, space_threshold=1_000_000)
+        layout.check()
+        for obj in keep:
+            assert layout.addresses[obj.uid] == old.addresses[obj.uid]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, st.data())
+    def test_ucc_da_threshold_zero_reclaims(self, names, data):
+        """With SpaceT=0 and single-function ownership, waste shrinks to
+        at most what no legal downward move could reclaim."""
+        sizes = [data.draw(st.integers(1, 2)) for _ in names]
+        objects = _objects(names, sizes)
+        old = allocate_gcc_da(objects)
+        keep = [o for o in objects if data.draw(st.booleans())]
+        layout, report = allocate_ucc_da(keep, old, space_threshold=0)
+        layout.check()
+        assert report.wasted_after <= report.wasted_before
+        assert layout.segment_end <= old.segment_end
+
+
+# ---------------------------------------------------------------------------
+# Register allocation properties over generated programs
+# ---------------------------------------------------------------------------
+
+
+def _program_source(num_vars: int, num_stmts: int, seed: int) -> str:
+    import random
+
+    rng = random.Random(seed)
+    ops = ["+", "-", "^", "&", "|"]
+    lines = [f"u8 v{i} = {i + 1};" for i in range(num_vars)]
+    for _ in range(num_stmts):
+        dst = rng.randrange(num_vars)
+        a = rng.randrange(num_vars)
+        b = rng.randrange(num_vars)
+        lines.append(f"v{dst} = v{a} {rng.choice(ops)} v{b};")
+    body = "\n    ".join(lines)
+    uses = " ^ ".join(f"v{i}" for i in range(num_vars))
+    return f"void main() {{\n    {body}\n    led_set({uses});\n    halt();\n}}"
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 6), st.integers(1, 25), st.integers(0, 10_000))
+    def test_baselines_always_verify(self, num_vars, num_stmts, seed):
+        source = _program_source(num_vars, num_stmts, seed)
+        module = build_ir(frontend(source))
+        fn = module.functions["main"]
+        for alloc in (allocate_graph_coloring, allocate_linear_scan):
+            record = alloc(fn)
+            verify_allocation(record, analyze(fn))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 15), st.integers(0, 10_000))
+    def test_compiled_random_programs_halt(self, num_vars, num_stmts, seed):
+        from repro.sim import run_image
+
+        source = _program_source(num_vars, num_stmts, seed)
+        program = compile_source(source)
+        result = run_image(program.image, max_cycles=500_000)
+        assert result.halted
+
+
+# ---------------------------------------------------------------------------
+# Update-planner properties over generated edits
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_patch_roundtrip_over_random_edits(self, seed_old, seed_new):
+        old_src = _program_source(3, 8, seed_old)
+        new_src = _program_source(3, 8, seed_new)
+        old = compile_source(old_src)
+        for ra in ("gcc", "ucc"):
+            result = plan_update(old, new_src, ra=ra, da="ucc")
+            assert (
+                patched_words(old.image, result.diff.script)
+                == result.new.image.words()
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_self_update_is_free(self, seed):
+        source = _program_source(3, 10, seed)
+        old = compile_source(source)
+        result = plan_update(old, source, ra="ucc", da="ucc")
+        assert result.diff_inst == 0
+        assert result.data_script.is_empty

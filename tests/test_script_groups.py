@@ -1,0 +1,98 @@
+"""Out-of-order script-group tests (paper §2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compile_source, plan_update
+from repro.diff import diff_images
+from repro.diff.groups import (
+    GROUP_HEADER_BYTES,
+    apply_groups,
+    group_script,
+    grouped_words,
+)
+from repro.diff.patcher import PatchError
+from repro.workloads import CASES
+
+
+@pytest.fixture(scope="module")
+def update_pair():
+    case = CASES["6"]
+    old = compile_source(case.old_source)
+    result = plan_update(old, case.new_source, ra="ucc", da="ucc")
+    return old, result
+
+
+class TestGrouping:
+    def test_groups_cover_whole_script(self, update_pair):
+        old, result = update_pair
+        groups = group_script(result.diff.script)
+        total_prims = sum(len(g.primitives) for g in groups)
+        assert total_prims == len(result.diff.script.primitives)
+
+    def test_in_order_application_matches_sequential(self, update_pair):
+        old, result = update_pair
+        groups = group_script(result.diff.script)
+        rebuilt = grouped_words(old.image, groups, result.diff.new_instructions)
+        assert rebuilt == result.new.image.words()
+
+    def test_out_of_order_application(self, update_pair):
+        """The paper's point: groups apply independent of arrival order."""
+        old, result = update_pair
+        groups = group_script(result.diff.script, max_group_bytes=24)
+        assert len(groups) >= 2
+        rng = random.Random(13)
+        for _ in range(5):
+            shuffled = list(groups)
+            rng.shuffle(shuffled)
+            rebuilt = grouped_words(
+                old.image, shuffled, result.diff.new_instructions
+            )
+            assert rebuilt == result.new.image.words()
+
+    def test_missing_group_detected(self, update_pair):
+        old, result = update_pair
+        groups = group_script(result.diff.script, max_group_bytes=24)
+        with pytest.raises(PatchError):
+            apply_groups(old.image, groups[:-1], result.diff.new_instructions)
+
+    def test_group_size_respected(self, update_pair):
+        old, result = update_pair
+        limit = 32
+        groups = group_script(result.diff.script, max_group_bytes=limit)
+        for group in groups:
+            # a single oversized primitive may exceed the limit alone
+            if len(group.primitives) > 1:
+                assert group.size_bytes <= limit + GROUP_HEADER_BYTES
+
+    def test_header_overhead_accounted(self, update_pair):
+        _, result = update_pair
+        script = result.diff.script
+        groups = group_script(script, max_group_bytes=24)
+        grouped_bytes = sum(g.size_bytes for g in groups)
+        assert grouped_bytes == script.size_bytes + GROUP_HEADER_BYTES * len(groups)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(16, 80))
+    def test_grouping_roundtrip_property(self, seed, limit):
+        rng = random.Random(seed)
+        ops = ["+", "-", "^", "&"]
+        def make_src(r):
+            lines = [f"u8 v{i} = {i};" for i in range(3)]
+            for _ in range(r.randrange(1, 12)):
+                lines.append(
+                    f"v{r.randrange(3)} = v{r.randrange(3)} {r.choice(ops)} v{r.randrange(3)};"
+                )
+            body = "\n    ".join(lines)
+            return f"void main() {{\n    {body}\n    led_set(v0);\n    halt();\n}}"
+
+        old = compile_source(make_src(random.Random(seed)))
+        new = compile_source(make_src(random.Random(seed + 1)))
+        diff = diff_images(old.image, new.image)
+        groups = group_script(diff.script, max_group_bytes=limit)
+        shuffled = list(groups)
+        rng.shuffle(shuffled)
+        rebuilt = grouped_words(old.image, shuffled, diff.new_instructions)
+        assert rebuilt == new.image.words()

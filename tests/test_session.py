@@ -1,0 +1,78 @@
+"""End-to-end OTA session tests (sink → network → sensor)."""
+
+from repro.core import UpdateSession, compile_source
+from repro.net import grid, line
+from repro.workloads import CASES
+
+
+class TestUpdateSession:
+    def test_single_update_round_trip(self, compiled_case_olds):
+        case = CASES["1"]
+        session = UpdateSession(compiled_case_olds["1"], topology=grid(4, 4))
+        result = session.push_update(case.new_source)
+        assert result.nodes_patched == 15
+        assert session.deployed.source == case.new_source
+
+    def test_successive_updates_chain(self):
+        """A maintenance campaign: each update patches the previous
+        deployed version, not the original."""
+        case1 = CASES["2"]  # Blink: toggle yellow instead of red
+        case5 = CASES["5"]  # Blink: mask the value passed to led_set
+        session = UpdateSession(compile_source(case1.old_source), topology=line(5))
+        first = session.push_update(case1.new_source)
+        second = session.push_update(case5.new_source)
+        assert first.update.new.source == case1.new_source
+        assert second.update.old.source == case1.new_source
+
+    def test_energy_positive_when_script_nonempty(self, compiled_case_olds):
+        case = CASES["6"]
+        session = UpdateSession(compiled_case_olds["6"], topology=grid(3, 3))
+        result = session.push_update(case.new_source)
+        assert result.update.script_bytes > 0
+        assert result.network_energy_j > 0
+
+    def test_ucc_cheaper_than_baseline_on_data_case(self, compiled_case_olds):
+        """D1: the network-level joule cost of the update is lower under
+        the update-conscious strategy."""
+        case = CASES["D1"]
+        topo = grid(5, 5)
+        ucc_session = UpdateSession(compiled_case_olds["D1"], topology=topo)
+        base_session = UpdateSession(compiled_case_olds["D1"], topology=topo)
+        ucc = ucc_session.push_update(case.new_source, ra="ucc", da="ucc")
+        base = base_session.push_update(case.new_source, ra="gcc", da="gcc")
+        assert ucc.network_energy_j < base.network_energy_j
+
+    def test_self_update_costs_almost_nothing(self, simple_program, simple_source):
+        session = UpdateSession(simple_program, topology=grid(3, 3))
+        result = session.push_update(simple_source)
+        baseline_bytes = result.update.script_bytes
+        assert baseline_bytes <= 4  # just copy primitives
+
+
+class TestLossySession:
+    def test_lossy_session_costs_more(self, compiled_case_olds):
+        from repro.net import grid
+        from repro.core import UpdateSession
+        from repro.workloads import CASES
+
+        case = CASES["6"]
+        clean = UpdateSession(compiled_case_olds["6"], topology=grid(4, 4))
+        lossy = UpdateSession(
+            compiled_case_olds["6"], topology=grid(4, 4), loss=0.3, loss_seed=5
+        )
+        clean_result = clean.push_update(case.new_source)
+        lossy_result = lossy.push_update(case.new_source)
+        assert lossy_result.network_energy_j > clean_result.network_energy_j
+
+    def test_lossy_session_still_patches(self, compiled_case_olds):
+        from repro.net import line
+        from repro.core import UpdateSession
+        from repro.workloads import CASES
+
+        case = CASES["2"]
+        session = UpdateSession(
+            compiled_case_olds["2"], topology=line(5), loss=0.2, loss_seed=3
+        )
+        result = session.push_update(case.new_source)
+        assert session.deployed.source == case.new_source
+        assert result.dissemination.complete

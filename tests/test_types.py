@@ -1,0 +1,60 @@
+"""lang.types unit tests."""
+
+import pytest
+
+from repro.lang.types import Type, U16, U8, VOID, common_type, scalar
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert U8.size_bytes == 1
+        assert U16.size_bytes == 2
+        assert VOID.size_bytes == 0
+
+    def test_bits_and_max(self):
+        assert U8.bits == 8 and U8.max_value == 0xFF
+        assert U16.bits == 16 and U16.max_value == 0xFFFF
+
+    def test_scalar_lookup(self):
+        assert scalar("u8") == U8
+        assert scalar("u16") == U16
+        assert scalar("void") == VOID
+        with pytest.raises(KeyError):
+            scalar("u32")
+
+    def test_void_flag(self):
+        assert VOID.is_void
+        assert not U8.is_void
+
+    def test_str(self):
+        assert str(U8) == "u8"
+        assert str(Type("u16", 4)) == "u16[4]"
+
+
+class TestArrays:
+    def test_array_size(self):
+        assert Type("u8", 10).size_bytes == 10
+        assert Type("u16", 10).size_bytes == 20
+
+    def test_element_type(self):
+        assert Type("u16", 3).element_type() == U16
+        with pytest.raises(ValueError):
+            U8.element_type()
+
+    def test_array_flag(self):
+        assert Type("u8", 2).is_array
+        assert not U8.is_array
+
+
+class TestCommonType:
+    def test_same_width(self):
+        assert common_type(U8, U8) == U8
+        assert common_type(U16, U16) == U16
+
+    def test_promotion(self):
+        assert common_type(U8, U16) == U16
+        assert common_type(U16, U8) == U16
+
+    def test_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            common_type(Type("u8", 2), U8)

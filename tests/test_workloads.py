@@ -1,0 +1,111 @@
+"""Workload tests: the five benchmarks and the fifteen update cases."""
+
+import pytest
+
+from repro.sim import DeviceBoard, Timer, run_image
+from repro.workloads import (
+    AES_EXPECTED_CIPHERTEXT,
+    CASES,
+    DATA_CASE_IDS,
+    PROGRAMS,
+    RA_CASE_IDS,
+)
+
+
+class TestPrograms:
+    def test_all_programs_compile(self, compiled_programs):
+        for name, prog in compiled_programs.items():
+            assert prog.instruction_count > 10, name
+
+    def test_all_programs_halt(self, compiled_programs):
+        for name, prog in compiled_programs.items():
+            result = run_image(prog.image, max_cycles=10_000_000)
+            assert result.halted, name
+
+    def test_blink_toggles_led(self, compiled_programs):
+        board = DeviceBoard(timer=Timer(period_cycles=200))
+        result = run_image(compiled_programs["Blink"].image, devices=board)
+        writes = result.devices.led.writes
+        assert len(writes) > 2
+        toggles = writes[1:]  # after the initial led_set(0)
+        assert toggles[:4] == [1, 0, 1, 0]
+
+    def test_cnt_to_leds_shows_low_bits(self, compiled_programs):
+        board = DeviceBoard(timer=Timer(period_cycles=200))
+        result = run_image(compiled_programs["CntToLeds"].image, devices=board)
+        writes = result.devices.led.writes
+        assert writes[: min(9, len(writes))] == [
+            (i + 1) & 7 for i in range(min(9, len(writes)))
+        ]
+
+    def test_cnt_to_rfm_sends_counter_packets(self, compiled_programs):
+        board = DeviceBoard(timer=Timer(period_cycles=200))
+        result = run_image(compiled_programs["CntToRfm"].image, devices=board)
+        sent = result.devices.radio.sent
+        # stream is (am_type, seq, value) triples
+        assert len(sent) >= 6
+        triples = [sent[i : i + 3] for i in range(0, len(sent) - 2, 3)]
+        for idx, (kind, seq, value) in enumerate(triples):
+            assert kind == 4
+            assert seq == idx
+            assert value == idx + 1
+
+    def test_cnt_to_leds_and_rfm_does_both(self, compiled_programs):
+        board = DeviceBoard(timer=Timer(period_cycles=200))
+        result = run_image(
+            compiled_programs["CntToLedsAndRfm"].image, devices=board
+        )
+        assert result.devices.led.writes
+        assert result.devices.radio.sent
+
+    def test_aes_matches_fips197_vector(self, compiled_programs):
+        result = run_image(compiled_programs["AES"].image, max_cycles=10_000_000)
+        assert bytes(result.devices.radio.sent) == AES_EXPECTED_CIPHERTEXT
+
+    def test_program_sizes_ordered_like_paper(self, compiled_programs):
+        """CntToLeds < CntToRfm (the paper reports 828 vs 4351 for the
+        TinyOS images; ours are smaller but ordered the same way)."""
+        assert (
+            compiled_programs["CntToLeds"].instruction_count
+            < compiled_programs["CntToRfm"].instruction_count
+        )
+        assert (
+            compiled_programs["CntToRfm"].instruction_count
+            < compiled_programs["CntToLedsAndRfm"].instruction_count
+        )
+
+
+class TestCases:
+    def test_fifteen_cases_defined(self):
+        assert len(CASES) == 15
+        assert len(RA_CASE_IDS) == 12
+        assert DATA_CASE_IDS == ["D1", "D2"]
+
+    def test_levels_cover_paper_spectrum(self):
+        levels = {case.level for case in CASES.values()}
+        assert levels == {"small", "medium", "large", "data"}
+
+    def test_every_case_sources_differ(self):
+        for cid, case in CASES.items():
+            assert case.old_source != case.new_source, cid
+
+    def test_every_case_compiles_and_runs(self, compiled_case_olds):
+        from repro.core import compile_source
+
+        for cid, case in CASES.items():
+            new = compile_source(case.new_source)
+            result = run_image(new.image, max_cycles=10_000_000)
+            assert result.halted, f"case {cid} new binary did not halt"
+
+    def test_case12_is_application_replacement(self):
+        assert CASES["12"].new_source == PROGRAMS["CntToLedsAndRfm"]
+
+    def test_case13_matches_paper_description(self):
+        assert CASES["13"].old_source == PROGRAMS["CntToLeds"]
+        assert CASES["13"].new_source == PROGRAMS["CntToRfm"]
+
+    def test_update_case_anchor_validation(self):
+        from repro.workloads.updates import _edit
+
+        with pytest.raises(ValueError):
+            _edit("abc", ("missing", "x"))
