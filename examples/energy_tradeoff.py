@@ -25,7 +25,7 @@ def main() -> None:
     model = DEFAULT_ENERGY_MODEL
     print("the paper's §2.1 rule of thumb:")
     print(
-        f"  adding 1 instruction to save 1 transmitted word pays off below "
+        "  adding 1 instruction to save 1 transmitted word pays off below "
         f"{model.breakeven_executions(1, 1.0):,.0f} executions\n"
     )
 

@@ -72,7 +72,7 @@ def main() -> None:
     print(f"true energy of the ILP solution: {true_energy:.0f}")
     verdict = "SAME decisions" if abs(true_energy - minlp.objective) < 1e-6 else "DIFFER"
     print(f"linear approximation vs MINLP: {verdict} "
-          f"(the paper observed the same on all its test cases)")
+          "(the paper observed the same on all its test cases)")
 
 
 if __name__ == "__main__":

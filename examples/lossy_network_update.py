@@ -14,7 +14,7 @@ does not evaluate together:
 Run:  python examples/lossy_network_update.py
 """
 
-from repro.core import UpdateSession, compile_source, profile_program
+from repro.core import compile_source, profile_program
 from repro.net import disseminate_lossy, grid
 from repro.workloads import CASES
 

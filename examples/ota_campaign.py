@@ -65,7 +65,7 @@ def main() -> None:
     print(f"UCC     : {ucc_bytes:5d} script bytes, {ucc_j * 1e3:8.2f} mJ network energy")
     if ucc_j < base_j:
         print(f"UCC spends {100 * (1 - ucc_j / base_j):.0f}% less radio energy "
-              f"on this campaign")
+              "on this campaign")
 
 
 if __name__ == "__main__":

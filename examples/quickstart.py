@@ -88,7 +88,7 @@ def main() -> None:
     board = DeviceBoard(timer=Timer(period_cycles=400))
     run = run_image(ucc.new.image, devices=board)
     print(f"ran {run.cycles} cycles; radio sent {len(board.radio.sent)} packets "
-          f"(every other sample, as the edit intended)")
+          "(every other sample, as the edit intended)")
     print("first reports:", board.radio.sent[:5])
 
 

@@ -1,0 +1,106 @@
+"""Verification-pass framework.
+
+Every checker in :mod:`repro.analysis` is a *pass*: a function that
+inspects one compilation product and returns a list of
+:class:`Finding` objects (empty = clean).  The driver
+(:mod:`repro.analysis.driver`) runs a pipeline of passes over a
+compiled program or a planned update, collects the findings into a
+:class:`VerificationReport`, and raises :class:`VerificationError`
+when any pass failed.
+
+The passes never trust the producer: each one recomputes the facts it
+needs (liveness, addresses, patched words, energy) from the product
+itself, so a bug in UCC-RA, UCC-DA, the differ, or the ILP backend is
+caught before a corrupt image is disseminated at ~1000x the energy
+cost per bit of local execution (paper §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification failure.
+
+    ``location`` is pass-specific: an IR index for allocation findings,
+    a byte address for layout findings, a word address for patch
+    findings.
+    """
+
+    pass_name: str
+    message: str
+    function: str | None = None
+    location: int | None = None
+
+    def render(self) -> str:
+        where = f" [{self.function}]" if self.function else ""
+        at = f" @ {self.location}" if self.location is not None else ""
+        return f"{self.pass_name}{where}{at}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of one verification run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    passes_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def failing_passes(self) -> list[str]:
+        """Names of the passes that produced findings, in run order."""
+        failed = {f.pass_name for f in self.findings}
+        return [name for name in self.passes_run if name in failed]
+
+    def extend(self, pass_name: str, findings: list[Finding]) -> None:
+        if pass_name not in self.passes_run:
+            self.passes_run.append(pass_name)
+        self.findings.extend(findings)
+
+    def by_pass(self, pass_name: str) -> list[Finding]:
+        return [f for f in self.findings if f.pass_name == pass_name]
+
+    def render(self) -> str:
+        lines = []
+        for name in self.passes_run:
+            found = self.by_pass(name)
+            status = "ok" if not found else f"{len(found)} finding(s)"
+            lines.append(f"pass {name:<12}: {status}")
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> "VerificationReport":
+        if not self.ok:
+            raise VerificationError(self)
+        return self
+
+
+class VerificationError(Exception):
+    """A compilation product failed independent verification.
+
+    Carries the full :class:`VerificationReport`; the message names the
+    failing pass(es) and the first finding so logs are actionable even
+    without inspecting the report object.
+    """
+
+    def __init__(self, report: VerificationReport):
+        self.report = report
+        failed = ", ".join(report.failing_passes()) or "<unknown>"
+        first = report.findings[0].render() if report.findings else ""
+        super().__init__(
+            f"verification failed in pass(es) {failed}: {first}"
+            + (
+                f" (+{len(report.findings) - 1} more)"
+                if len(report.findings) > 1
+                else ""
+            )
+        )
+
+    @property
+    def failing_passes(self) -> list[str]:
+        return self.report.failing_passes()

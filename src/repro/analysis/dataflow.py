@@ -1,0 +1,168 @@
+"""A small reusable dataflow framework over the IR CFG.
+
+Built on :mod:`repro.ir.cfg` and complementing the backward liveness
+solver in :mod:`repro.ir.liveness` with the *forward* facts the
+verifier passes need:
+
+* :func:`reaching_definitions` — which definitions of each virtual
+  register can reach each instruction,
+* :func:`def_use_chains` — the def→use edges derived from them, and
+* :func:`dominators` / :func:`immediate_dominators` — the classic
+  block dominance relation.
+
+Functions in this repo are small (tens of instructions), so the
+solvers favour clarity over asymptotics: plain iterate-to-fixpoint
+with per-instruction transfer functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import CFG, build_cfg
+from ..ir.function import IRFunction
+
+#: Pseudo definition index for function parameters (defined at entry).
+ENTRY_DEF = -1
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition event: ``vreg`` is written at instruction
+    ``index`` (``ENTRY_DEF`` for parameters, live from entry)."""
+
+    vreg: str
+    index: int
+
+
+@dataclass
+class ReachingDefinitions:
+    """Forward dataflow facts: definitions reaching each instruction."""
+
+    function: IRFunction
+    cfg: CFG
+    reach_in: list[set]
+    reach_out: list[set]
+
+    def defs_reaching(self, index: int, vreg: str) -> set:
+        """Definitions of ``vreg`` that may reach instruction ``index``."""
+        return {d for d in self.reach_in[index] if d.vreg == vreg}
+
+
+def reaching_definitions(fn: IRFunction, cfg: CFG | None = None) -> ReachingDefinitions:
+    """Solve reaching definitions for ``fn``."""
+    cfg = cfg or build_cfg(fn)
+    count = len(fn.instrs)
+    gen: list[set] = []
+    kill_names: list[set] = []
+    for idx, ins in enumerate(fn.instrs):
+        names = {r.name for r in ins.defs()}
+        gen.append({Definition(name, idx) for name in names})
+        kill_names.append(names)
+
+    entry_defs = {Definition(reg.name, ENTRY_DEF) for reg in fn.param_vregs}
+    reach_in = [set() for _ in range(count)]
+    reach_out = [set() for _ in range(count)]
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            for idx in range(block.start, block.end):
+                if idx == block.start:
+                    if block.index == 0:
+                        incoming = set(entry_defs)
+                    else:
+                        incoming = set()
+                    for pred in block.predecessors:
+                        pred_block = cfg.blocks[pred]
+                        if pred_block.start < pred_block.end:
+                            incoming |= reach_out[pred_block.end - 1]
+                else:
+                    incoming = set(reach_out[idx - 1])
+                outgoing = gen[idx] | {
+                    d for d in incoming if d.vreg not in kill_names[idx]
+                }
+                if incoming != reach_in[idx] or outgoing != reach_out[idx]:
+                    reach_in[idx] = incoming
+                    reach_out[idx] = outgoing
+                    changed = True
+
+    return ReachingDefinitions(
+        function=fn, cfg=cfg, reach_in=reach_in, reach_out=reach_out
+    )
+
+
+@dataclass
+class DefUseChains:
+    """Def→use edges of one function.
+
+    ``uses_of`` maps a :class:`Definition` to the instruction indices
+    that may read it; ``defs_of`` maps a (vreg, use index) pair to the
+    definitions that may feed it.  A use with *no* reaching definition
+    (an uninitialised read the front end let through) appears in
+    ``undefined_uses``.
+    """
+
+    uses_of: dict = field(default_factory=dict)
+    defs_of: dict = field(default_factory=dict)
+    undefined_uses: list = field(default_factory=list)
+
+
+def def_use_chains(
+    fn: IRFunction, rd: ReachingDefinitions | None = None
+) -> DefUseChains:
+    """Derive def-use chains from reaching definitions."""
+    rd = rd or reaching_definitions(fn)
+    chains = DefUseChains()
+    for idx, ins in enumerate(fn.instrs):
+        for reg in ins.uses():
+            feeding = rd.defs_reaching(idx, reg.name)
+            chains.defs_of[(reg.name, idx)] = feeding
+            if not feeding:
+                chains.undefined_uses.append((reg.name, idx))
+            for definition in feeding:
+                chains.uses_of.setdefault(definition, set()).add(idx)
+    return chains
+
+
+def dominators(cfg: CFG) -> dict[int, set]:
+    """Block index → set of dominating block indices (reflexive)."""
+    if not cfg.blocks:
+        return {}
+    all_blocks = {b.index for b in cfg.blocks}
+    dom: dict[int, set] = {b.index: set(all_blocks) for b in cfg.blocks}
+    dom[0] = {0}
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.index == 0:
+                continue
+            preds = [p for p in block.predecessors]
+            if preds:
+                incoming = set.intersection(*(dom[p] for p in preds))
+            else:  # unreachable block: only itself
+                incoming = set()
+            new = incoming | {block.index}
+            if new != dom[block.index]:
+                dom[block.index] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(cfg: CFG) -> dict[int, int | None]:
+    """Block index → immediate dominator (None for the entry and for
+    unreachable blocks)."""
+    dom = dominators(cfg)
+    idom: dict[int, int | None] = {}
+    for block in cfg.blocks:
+        index = block.index
+        strict = dom[index] - {index}
+        if not strict:
+            idom[index] = None
+            continue
+        # The immediate dominator is the strict dominator dominated by
+        # every other strict dominator.
+        idom[index] = max(strict, key=lambda d: len(dom[d]))
+    return idom

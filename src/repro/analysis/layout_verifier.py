@@ -1,0 +1,209 @@
+"""Layout verifier: data layout soundness + addressing consistency.
+
+Two passes:
+
+* ``layout`` — the :class:`~repro.datalayout.layout.DataLayout` itself
+  is sound: every placed object has a descriptor, objects never
+  overlap (two simultaneously-live slots sharing bytes would corrupt
+  activation records at run time), everything sits inside the segment,
+  recorded holes do not cover live objects, and the assembled data
+  image has exactly the segment's length.
+
+* ``addressing`` — every memory-addressing machine instruction is
+  consistent with the layout map: an ``LDS``/``STS`` emitted for an IR
+  instruction must target a byte inside one of the objects that IR
+  instruction legitimately touches (its ``MemRef`` operands, the spill
+  slots of its spilled vregs, the callee's parameter slots for a
+  ``CALL``), and the ``LDI`` pair that forms the Z pointer for indexed
+  accesses must encode the array's base address.  A stale address —
+  the exact corruption a wrong UCC-DA reuse would produce — is caught
+  here before the image ships.
+"""
+
+from __future__ import annotations
+
+from ..datalayout.layout import DataLayout, spill_uid
+from ..ir.instructions import IROp, MemRef
+from ..isa import registers as regs
+from .base import Finding
+
+LAYOUT_PASS = "layout"
+ADDRESSING_PASS = "addressing"
+
+
+def verify_data_layout(layout: DataLayout) -> list[Finding]:
+    """Check the layout's internal invariants."""
+    findings: list[Finding] = []
+
+    def fail(message: str, location: int | None = None) -> None:
+        findings.append(
+            Finding(pass_name=LAYOUT_PASS, message=message, location=location)
+        )
+
+    spans = []
+    for uid, address in sorted(layout.addresses.items()):
+        obj = layout.objects.get(uid)
+        if obj is None:
+            fail(f"placed object {uid} has no descriptor", address)
+            continue
+        if obj.size <= 0:
+            fail(f"object {uid} has non-positive size {obj.size}", address)
+            continue
+        if address < layout.segment_base or address + obj.size > layout.segment_end:
+            fail(
+                f"object {uid} [{address}, {address + obj.size}) falls outside "
+                f"the data segment [{layout.segment_base}, {layout.segment_end})",
+                address,
+            )
+        spans.append((address, address + obj.size, uid))
+
+    spans.sort()
+    for (start_a, end_a, uid_a), (start_b, end_b, uid_b) in zip(spans, spans[1:]):
+        if end_a > start_b:
+            fail(
+                f"overlapping slots: {uid_a} [{start_a}, {end_a}) and "
+                f"{uid_b} [{start_b}, {end_b})",
+                start_b,
+            )
+
+    for hole in layout.holes:
+        hole_end = hole.address + hole.size
+        if hole.address < layout.segment_base or hole_end > layout.segment_end:
+            fail(
+                f"hole [{hole.address}, {hole_end}) falls outside the segment",
+                hole.address,
+            )
+        for start, end, uid in spans:
+            if start < hole_end and hole.address < end:
+                fail(
+                    f"hole [{hole.address}, {hole_end}) overlaps live object {uid}",
+                    hole.address,
+                )
+    return findings
+
+
+def verify_data_image(layout: DataLayout, data: bytes) -> list[Finding]:
+    """The assembled data segment must span exactly the layout."""
+    expected = layout.segment_end - layout.segment_base
+    if len(data) != expected:
+        return [
+            Finding(
+                pass_name=LAYOUT_PASS,
+                message=(
+                    f"data image is {len(data)} bytes but the layout spans "
+                    f"{expected}"
+                ),
+            )
+        ]
+    return []
+
+
+def verify_addressing(program) -> list[Finding]:
+    """Cross-check every address-bearing machine instruction.
+
+    ``program`` is a :class:`~repro.core.compiler.CompiledProgram`
+    (duck-typed: needs ``module``, ``records``, ``layout``,
+    ``machine``).
+    """
+    findings: list[Finding] = []
+    layout = program.layout
+    module = program.module
+
+    def fail(fn_name: str, message: str, location: int | None = None) -> None:
+        findings.append(
+            Finding(
+                pass_name=ADDRESSING_PASS,
+                message=message,
+                function=fn_name,
+                location=location,
+            )
+        )
+
+    def safe_extent(uid: str) -> tuple[int, int] | None:
+        if uid in layout.addresses and uid in layout.objects:
+            return layout.extent(uid)
+        return None
+
+    def extents_for(fn_name: str, ir_index: int) -> list[tuple[int, int]] | None:
+        """Byte ranges IR instruction ``ir_index`` of ``fn_name`` may
+        address; None when the instruction cannot be resolved."""
+        fn = module.functions.get(fn_name)
+        if fn is None:
+            return None
+        record = program.records.get(fn_name)
+        extents: list[tuple[int, int]] = []
+        if ir_index < 0:
+            # Prologue parameter loads read the function's own slots.
+            for reg in fn.param_vregs:
+                extent = safe_extent(reg.name)
+                if extent:
+                    extents.append(extent)
+            return extents
+        if ir_index >= len(fn.instrs):
+            return None
+        ins = fn.instrs[ir_index]
+        for arg in ins.args:
+            if isinstance(arg, MemRef):
+                extent = safe_extent(arg.symbol)
+                if extent:
+                    extents.append(extent)
+        if record is not None:
+            for reg in ins.vregs():
+                placement = record.placements.get(reg.name)
+                if placement is not None and placement.spilled:
+                    extent = safe_extent(spill_uid(fn_name, reg.name))
+                    if extent:
+                        extents.append(extent)
+        if ins.op is IROp.CALL:
+            callee = module.functions.get(ins.args[0])
+            if callee is not None:
+                for reg in callee.param_vregs:
+                    extent = safe_extent(reg.name)
+                    if extent:
+                        extents.append(extent)
+        return extents
+
+    for instr in program.machine:
+        if instr.is_label:
+            continue
+        fn_name = instr.comment or "<unattributed>"
+        if instr.mnemonic in ("lds", "sts"):
+            valid = extents_for(fn_name, instr.ir_index)
+            if valid is None:
+                fail(
+                    fn_name,
+                    f"{instr.mnemonic} at IR {instr.ir_index} cannot be "
+                    "attributed to an IR instruction",
+                    instr.addr,
+                )
+                continue
+            if not any(start <= instr.addr < end for start, end in valid):
+                fail(
+                    fn_name,
+                    f"{instr.mnemonic} targets address {instr.addr:#06x}, "
+                    "which belongs to no object this IR instruction touches",
+                    instr.addr,
+                )
+        elif instr.mnemonic == "ldi" and instr.rd in (regs.Z_LO, regs.Z_HI):
+            # Z-pointer formation for a run-time indexed access: the
+            # immediate must be the low/high byte of a referenced
+            # array's base address.
+            fn = module.functions.get(fn_name)
+            if fn is None or not (0 <= instr.ir_index < len(fn.instrs)):
+                continue
+            bases = [
+                layout.addresses[arg.symbol]
+                for arg in fn.instrs[instr.ir_index].args
+                if isinstance(arg, MemRef) and arg.symbol in layout.addresses
+            ]
+            if not bases:
+                continue
+            shift = 0 if instr.rd == regs.Z_LO else 8
+            if not any((base >> shift) & 0xFF == instr.imm for base in bases):
+                fail(
+                    fn_name,
+                    f"Z-pointer byte {instr.imm:#04x} matches no referenced "
+                    "array base address",
+                    instr.ir_index,
+                )
+    return findings

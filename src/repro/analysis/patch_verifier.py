@@ -1,0 +1,95 @@
+"""Patch verifier: the edit script rebuilds the new image exactly.
+
+Independently replays the sensor-side patcher against the old image
+and compares the result with the new image word-for-word, reporting
+the first divergence with the primitive that produced it.  Also checks
+that the script survives its own wire format (serialise → parse →
+identical primitives) and that the data-segment script round-trips —
+the sensor only ever sees bytes, so a script whose *serialisation*
+is lossy would corrupt every node even if the in-memory object was
+correct.
+"""
+
+from __future__ import annotations
+
+from ..diff.data_diff import DataScript, apply_data
+from ..diff.edit_script import EditScript
+from ..diff.patcher import PatchError, apply_script_annotated
+from ..isa.assembler import BinaryImage
+from .base import Finding
+
+PASS_NAME = "patch"
+
+
+def verify_patch_product(
+    old: BinaryImage,
+    new: BinaryImage,
+    script: EditScript,
+    data_script: DataScript | None = None,
+) -> list[Finding]:
+    """Re-apply ``script`` (and optionally ``data_script``) and compare."""
+    findings: list[Finding] = []
+
+    def fail(message: str, location: int | None = None) -> None:
+        findings.append(
+            Finding(pass_name=PASS_NAME, message=message, location=location)
+        )
+
+    # 1. The script applies and reproduces the new code words.
+    try:
+        annotated = apply_script_annotated(old, script)
+    except PatchError as exc:
+        fail(f"script does not apply to the old image: {exc}")
+        annotated = None
+    if annotated is not None:
+        rebuilt: list[int] = []
+        provenance: list[int] = []
+        for unit, prim_index in annotated:
+            rebuilt.extend(unit)
+            provenance.extend(prim_index for _ in unit)
+        expected = new.words()
+        if len(rebuilt) != len(expected):
+            fail(
+                f"patched image is {len(rebuilt)} words, expected "
+                f"{len(expected)}",
+                min(len(rebuilt), len(expected)),
+            )
+        for index, (got, want) in enumerate(zip(rebuilt, expected)):
+            if got != want:
+                prim_index = provenance[index]
+                prim = script.primitives[prim_index]
+                fail(
+                    f"word {index}: patched {got:#06x} != expected "
+                    f"{want:#06x} (primitive {prim_index}, "
+                    f"{prim.op.name.lower()})",
+                    index,
+                )
+                break  # first divergence is the actionable one
+
+    # 2. The wire format round-trips.
+    try:
+        reparsed = EditScript.from_bytes(script.to_bytes())
+    except (ValueError, IndexError) as exc:
+        fail(f"script serialisation does not parse back: {exc}")
+    else:
+        if reparsed.primitives != script.primitives:
+            fail("script serialisation round-trip altered the primitives")
+
+    # 3. The data segment rebuilds exactly.
+    if data_script is not None:
+        patched = apply_data(old.data, data_script)
+        if patched != new.data:
+            location = next(
+                (
+                    offset
+                    for offset, (got, want) in enumerate(zip(patched, new.data))
+                    if got != want
+                ),
+                min(len(patched), len(new.data)),
+            )
+            fail(
+                f"data segment diverges at byte {location} "
+                f"(patched {len(patched)} bytes, expected {len(new.data)})",
+                location,
+            )
+    return findings

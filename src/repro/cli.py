@@ -17,6 +17,11 @@ Commands
 ``case ID``
     Replay one of the paper's update cases (1-13, D1, D2) under both
     strategies and print the comparison.
+
+``verify OLD NEW`` / ``verify --case ID``
+    Plan an update and run every static verification pass
+    (:mod:`repro.analysis`) over the products; print the per-pass
+    report and exit non-zero when any pass fails.
 """
 
 from __future__ import annotations
@@ -111,6 +116,32 @@ def cmd_case(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .analysis import verify_update
+
+    if args.case:
+        case = CASES.get(args.case)
+        if case is None:
+            print(f"unknown case {args.case!r}; available: {', '.join(CASES)}",
+                  file=sys.stderr)
+            return 2
+        old_source, new_source = case.old_source, case.new_source
+        label = f"case {case.case_id}"
+    elif args.old and args.new:
+        old_source, new_source = _read(args.old), _read(args.new)
+        label = f"{args.old} -> {args.new}"
+    else:
+        print("verify needs OLD NEW files or --case ID", file=sys.stderr)
+        return 2
+
+    old = compile_source(old_source, register_allocator=args.baseline_ra)
+    result = plan_update(old, new_source, ra=args.ra, da=args.da)
+    report = verify_update(result)
+    print(f"verify {label} (ra={args.ra} da={args.da})")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_case = sub.add_parser("case", help="replay a paper update case")
     p_case.add_argument("id")
     p_case.set_defaults(func=cmd_case)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically verify a planned update"
+    )
+    p_verify.add_argument("old", nargs="?")
+    p_verify.add_argument("new", nargs="?")
+    p_verify.add_argument("--case", help="verify a paper case instead of files")
+    p_verify.add_argument("--ra", default="ucc",
+                          choices=["ucc", "ucc-ilp", "gcc", "linear"])
+    p_verify.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
+    p_verify.add_argument("--baseline-ra", default="gcc",
+                          choices=["gcc", "linear"])
+    p_verify.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -27,7 +27,6 @@ from ..ir.instructions import COMPARISONS, IRInstr, IROp, Imm, MemRef, VReg
 from ..isa import devices
 from ..isa import registers as regs
 from ..isa.instructions import MachineInstr, label as mk_label
-from ..lang.types import U16, U8
 from ..regalloc.base import AllocationRecord
 from .scratch import ScratchPool
 

@@ -16,7 +16,6 @@ from ..datalayout.gcc_da import allocate_gcc_da
 from ..datalayout.layout import DataLayout, collect_layout_objects
 from ..ir.builder import build_ir
 from ..ir.function import IRModule
-from ..isa import devices
 from ..isa.assembler import BinaryImage, assemble
 from ..isa.instructions import MachineInstr
 from ..lang import frontend
@@ -58,6 +57,9 @@ class CompilerOptions:
     #: (pre-provisioned growth room for maintenance; see
     #: repro.codegen.placement)
     placement_headroom: int = 0
+    #: run the full repro.analysis verification passes after every
+    #: compile/update and raise VerificationError on any finding
+    checked: bool = False
 
 
 @dataclass
@@ -177,7 +179,7 @@ class Compiler:
         records = self.allocate_registers(module)
         layout = self.lay_out_data(module, records)
         machine, image, plan = self.back_end(module, records, layout)
-        return CompiledProgram(
+        program = CompiledProgram(
             source=source,
             checked=module.checked,
             module=module,
@@ -188,6 +190,13 @@ class Compiler:
             options=self.options,
             placement=plan,
         )
+        if self.options.checked:
+            # Lazy import: repro.analysis reaches back into regalloc and
+            # datalayout, so a top-level import would cycle.
+            from ..analysis import verify_program
+
+            verify_program(program).raise_if_failed()
+        return program
 
 
 def build_data_image(module: IRModule, layout: DataLayout) -> bytes:
@@ -220,9 +229,10 @@ def compile_source(
     register_allocator: str = "gcc",
     optimize: bool = True,
     filename: str = "<source>",
+    checked: bool = False,
 ) -> CompiledProgram:
     """One-call convenience compile."""
     options = CompilerOptions(
-        register_allocator=register_allocator, optimize=optimize
+        register_allocator=register_allocator, optimize=optimize, checked=checked
     )
     return Compiler(options).compile(source, filename)

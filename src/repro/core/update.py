@@ -135,6 +135,7 @@ class UpdatePlanner:
         da: str = "ucc",
         cp: str | None = None,
         verify: bool = True,
+        checked: bool | None = None,
     ) -> UpdateResult:
         """Recompile ``new_source`` under the given strategy and diff.
 
@@ -145,16 +146,24 @@ class UpdatePlanner:
         whichever needs the smaller script — padding NOPs and call-site
         re-encodings trade against each other, and which wins depends
         on the call graph.
+
+        ``checked`` runs the full :mod:`repro.analysis` verification
+        passes over the planned update and raises
+        :class:`~repro.analysis.VerificationError` on any finding;
+        ``None`` inherits the old program's ``options.checked``.
         """
         if cp is None:
             cp = "auto" if ra in ("ucc", "ucc-ilp") else "gcc"
         old = self.old
+        if checked is None:
+            checked = old.options.checked
         options = CompilerOptions(
             register_allocator=old.options.register_allocator,
             optimize=old.options.optimize,
             depths=dict(old.options.depths),
             verify=old.options.verify,
             placement_headroom=old.options.placement_headroom,
+            checked=checked,
         )
         compiler = Compiler(options)
         module = compiler.front_and_middle(new_source)
@@ -262,7 +271,7 @@ class UpdatePlanner:
             payload_per_packet=packets.payload_per_packet,
             overhead_per_packet=packets.overhead_per_packet,
         )
-        return UpdateResult(
+        result = UpdateResult(
             old=old,
             new=new_program,
             ra_strategy=ra,
@@ -273,6 +282,12 @@ class UpdatePlanner:
             ra_reports=ra_reports,
             da_report=da_report,
         )
+        if checked:
+            # Lazy import (see Compiler.compile).
+            from ..analysis import verify_update
+
+            verify_update(result, cnt=self.expected_runs).raise_if_failed()
+        return result
 
     def plan_adaptive(
         self,
@@ -357,6 +372,7 @@ def plan_update(
     k: int = DEFAULT_K,
     expected_runs: float = 1000.0,
     space_threshold: int = 0,
+    checked: bool | None = None,
 ) -> UpdateResult:
     """One-call convenience wrapper around :class:`UpdatePlanner`."""
     planner = UpdatePlanner(
@@ -366,4 +382,4 @@ def plan_update(
         expected_runs=expected_runs,
         space_threshold=space_threshold,
     )
-    return planner.plan(new_source, ra=ra, da=da, cp=cp)
+    return planner.plan(new_source, ra=ra, da=da, cp=cp, checked=checked)

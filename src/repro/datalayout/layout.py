@@ -59,6 +59,11 @@ class DataLayout:
     def address_of(self, uid: str) -> int:
         return self.addresses[uid]
 
+    def extent(self, uid: str) -> tuple[int, int]:
+        """Byte range ``[start, end)`` occupied by object ``uid``."""
+        address = self.addresses[uid]
+        return address, address + self.objects[uid].size
+
     def __contains__(self, uid: str) -> bool:
         return uid in self.addresses
 

@@ -6,6 +6,11 @@ patcher works on instruction units (the granularity the script's
 ``count`` fields use) and cross-checks the reconstruction when the
 expected image is supplied — the round-trip property
 ``apply(old, diff(old, new)) == new`` is pinned by tests.
+
+Failures raise :class:`PatchError` carrying structured diagnostics —
+the first mismatching word address, the expected vs. actual values,
+and the primitive that produced the bad word — so a corrupt script is
+debuggable from the error alone.
 """
 
 from __future__ import annotations
@@ -15,37 +20,93 @@ from .edit_script import EditScript, PrimOp
 
 
 class PatchError(Exception):
-    """Raised when a script does not apply cleanly to the old image."""
+    """Raised when a script does not apply cleanly to the old image.
+
+    Structured attributes (``None`` when not applicable):
+
+    * ``word_index``      — word address of the first mismatch,
+    * ``expected``        — the word the new image holds there,
+    * ``actual``          — the word the patched stream produced,
+    * ``primitive_index`` — position of the offending primitive in the
+      script,
+    * ``primitive``       — that primitive's op name (``"copy"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        word_index: int | None = None,
+        expected: int | None = None,
+        actual: int | None = None,
+        primitive_index: int | None = None,
+        primitive: str | None = None,
+    ):
+        super().__init__(message)
+        self.word_index = word_index
+        self.expected = expected
+        self.actual = actual
+        self.primitive_index = primitive_index
+        self.primitive = primitive
+
+
+def apply_script_annotated(
+    old: BinaryImage, script: EditScript
+) -> list[tuple[tuple[int, ...], int]]:
+    """Apply ``script`` to ``old``; returns ``(unit, primitive_index)``
+    pairs — the new instruction units (tuples of encoded words, one per
+    instruction) annotated with the primitive that emitted each."""
+    old_units = [tuple(enc.words) for enc in old.code]
+    out: list[tuple[tuple[int, ...], int]] = []
+    cursor = 0
+    for prim_index, prim in enumerate(script.primitives):
+        op_name = prim.op.name.lower()
+        if prim.op is PrimOp.COPY:
+            if cursor + prim.count > len(old_units):
+                raise PatchError(
+                    f"primitive {prim_index}: copy runs past the end of the "
+                    "old image",
+                    primitive_index=prim_index,
+                    primitive=op_name,
+                )
+            out.extend(
+                (unit, prim_index)
+                for unit in old_units[cursor : cursor + prim.count]
+            )
+            cursor += prim.count
+        elif prim.op is PrimOp.REMOVE:
+            if cursor + prim.count > len(old_units):
+                raise PatchError(
+                    f"primitive {prim_index}: remove runs past the end of the "
+                    "old image",
+                    primitive_index=prim_index,
+                    primitive=op_name,
+                )
+            cursor += prim.count
+        elif prim.op is PrimOp.INSERT:
+            out.extend((unit, prim_index) for unit in prim.words)
+        else:  # REPLACE: consumes old instructions, emits new ones
+            if cursor + prim.count > len(old_units):
+                raise PatchError(
+                    f"primitive {prim_index}: replace runs past the end of "
+                    "the old image",
+                    primitive_index=prim_index,
+                    primitive=op_name,
+                )
+            cursor += prim.count
+            out.extend((unit, prim_index) for unit in prim.words)
+    if cursor != len(old_units):
+        raise PatchError(
+            f"script consumed {cursor} of {len(old_units)} old instructions",
+            primitive_index=len(script.primitives) - 1 if script.primitives else None,
+        )
+    return out
 
 
 def apply_script(old: BinaryImage, script: EditScript) -> list[tuple[int, ...]]:
     """Apply ``script`` to ``old``; returns the new instruction units
     (tuples of encoded words, one per instruction)."""
-    old_units = [tuple(enc.words) for enc in old.code]
-    out: list[tuple[int, ...]] = []
-    cursor = 0
-    for prim in script.primitives:
-        if prim.op is PrimOp.COPY:
-            if cursor + prim.count > len(old_units):
-                raise PatchError("copy runs past the end of the old image")
-            out.extend(old_units[cursor : cursor + prim.count])
-            cursor += prim.count
-        elif prim.op is PrimOp.REMOVE:
-            if cursor + prim.count > len(old_units):
-                raise PatchError("remove runs past the end of the old image")
-            cursor += prim.count
-        elif prim.op is PrimOp.INSERT:
-            out.extend(prim.words)
-        else:  # REPLACE: consumes old instructions, emits new ones
-            if cursor + prim.count > len(old_units):
-                raise PatchError("replace runs past the end of the old image")
-            cursor += prim.count
-            out.extend(prim.words)
-    if cursor != len(old_units):
-        raise PatchError(
-            f"script consumed {cursor} of {len(old_units)} old instructions"
-        )
-    return out
+    return [unit for unit, _ in apply_script_annotated(old, script)]
 
 
 def patched_words(old: BinaryImage, script: EditScript) -> list[int]:
@@ -58,15 +119,30 @@ def patched_words(old: BinaryImage, script: EditScript) -> list[int]:
 
 def verify_patch(old: BinaryImage, new: BinaryImage, script: EditScript) -> None:
     """Assert the script rebuilds ``new`` from ``old`` exactly."""
-    rebuilt = patched_words(old, script)
+    annotated = apply_script_annotated(old, script)
+    rebuilt: list[int] = []
+    provenance: list[int] = []  # word index -> primitive index
+    for unit, prim_index in annotated:
+        rebuilt.extend(unit)
+        provenance.extend(prim_index for _ in unit)
     expected = new.words()
-    if rebuilt != expected:
-        for index, (got, want) in enumerate(zip(rebuilt, expected)):
-            if got != want:
-                raise PatchError(
-                    f"patched image diverges at word {index}: "
-                    f"{got:#06x} != {want:#06x}"
-                )
-        raise PatchError(
-            f"patched image length {len(rebuilt)} != expected {len(expected)}"
-        )
+    if rebuilt == expected:
+        return
+    for index, (got, want) in enumerate(zip(rebuilt, expected)):
+        if got != want:
+            prim_index = provenance[index]
+            prim = script.primitives[prim_index]
+            raise PatchError(
+                f"patched image diverges at word {index}: {got:#06x} != "
+                f"{want:#06x} (produced by primitive {prim_index}, "
+                f"{prim.op.name.lower()})",
+                word_index=index,
+                expected=want,
+                actual=got,
+                primitive_index=prim_index,
+                primitive=prim.op.name.lower(),
+            )
+    raise PatchError(
+        f"patched image length {len(rebuilt)} != expected {len(expected)}",
+        word_index=min(len(rebuilt), len(expected)),
+    )

@@ -18,7 +18,7 @@ sizes the register-allocation models produce for a chunk).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -22,13 +22,11 @@ from ..lang.errors import SemanticError
 from ..lang.sema import CheckedProgram, Symbol, SymbolKind
 from ..lang.types import Type, U8, U16
 from .instructions import (
-    COMPARISONS,
     IRInstr,
     IROp,
     Imm,
     Label,
     MemRef,
-    NEGATED_COMPARISON,
     VReg,
 )
 from .function import IRFunction, IRModule

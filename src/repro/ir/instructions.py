@@ -26,7 +26,7 @@ Design points that matter for the reproduction:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..lang.types import Type, U8
 

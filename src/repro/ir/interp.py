@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from ..lang.sema import CheckedProgram
 from ..sim.devices import DeviceBoard
-from .function import IRFunction, IRModule
+from .function import IRModule
 from .instructions import IRInstr, IROp, Imm, MemRef, VReg
 
 

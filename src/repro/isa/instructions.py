@@ -28,7 +28,7 @@ for every allocator, documented in DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 F_RR = "rr"
 F_IMM = "imm"

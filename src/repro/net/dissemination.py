@@ -16,7 +16,7 @@ code for speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..diff.packets import Packetisation
 from ..energy.power_model import MICA2, PowerModel

@@ -16,7 +16,7 @@ smaller scripts are worth strictly more on lossy links.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..diff.packets import Packetisation
 from ..energy.power_model import MICA2, PowerModel

@@ -24,12 +24,10 @@ from ..ir.instructions import (
     IRInstr,
     IROp,
     Imm,
-    Label,
     VReg,
 )
 from ..ir.liveness import analyze
 from ..lang.sema import _eval_binop
-from ..lang.types import U8
 
 #: IR ops with side effects or control relevance — never deleted.
 _SIDE_EFFECTS = frozenset(

@@ -144,36 +144,49 @@ class AllocationRecord:
         return len(used)
 
 
-def verify_allocation(record: AllocationRecord, liveness) -> None:
-    """Check that no two simultaneously-live vregs share a physical
-    register at any IR index.  Raises :class:`AllocationError`.
+def allocation_conflicts(record: AllocationRecord, liveness):
+    """Yield every register-sharing conflict as ``(index, phys, a, b)``.
 
-    Values live *into* an instruction must be pairwise disjoint, and so
-    must values live *out of* it.  A value dying at the instruction may
-    legally share a register with one defined there (the selector
-    handles the two-address hazards).
+    A conflict exists when two simultaneously-live vregs occupy the
+    same physical register at some IR index.  Values live *into* an
+    instruction must be pairwise disjoint, and so must values live
+    *out of* it.  A value dying at the instruction may legally share a
+    register with one defined there (the selector handles the
+    two-address hazards).
 
-    ``liveness`` is a :class:`repro.ir.liveness.LivenessInfo`.
+    ``liveness`` is a :class:`repro.ir.liveness.LivenessInfo`.  Shared
+    by :func:`verify_allocation` (the producers' cheap self-check,
+    first conflict raises) and the independent allocation verifier in
+    :mod:`repro.analysis.alloc_verifier` (collects all conflicts).
     """
 
-    def check_set(names, index: int) -> None:
+    def check_set(names, index: int):
         occupied: dict[int, str] = {}
-        for name in names:
+        for name in sorted(names):
             placement = record.placements.get(name)
             if placement is None:
                 continue
             for phys in placement.physical_regs_at(index):
                 other = occupied.get(phys)
                 if other is not None and other != name:
-                    raise AllocationError(
-                        f"{record.function}: r{phys} holds both {other} and "
-                        f"{name} at IR index {index}"
-                    )
+                    yield index, phys, other, name
                 occupied[phys] = name
 
     instrs = liveness.function.instrs
     for index in range(len(instrs)):
         uses = {r.name for r in instrs[index].uses()}
         defs = {r.name for r in instrs[index].defs()}
-        check_set(set(liveness.live_in[index]) | uses, index)
-        check_set(set(liveness.live_out[index]) | defs, index)
+        yield from check_set(set(liveness.live_in[index]) | uses, index)
+        yield from check_set(set(liveness.live_out[index]) | defs, index)
+
+
+def verify_allocation(record: AllocationRecord, liveness) -> None:
+    """Check that no two simultaneously-live vregs share a physical
+    register at any IR index.  Raises :class:`AllocationError` on the
+    first conflict found (see :func:`allocation_conflicts`).
+    """
+    for index, phys, other, name in allocation_conflicts(record, liveness):
+        raise AllocationError(
+            f"{record.function}: r{phys} holds both {other} and "
+            f"{name} at IR index {index}"
+        )

@@ -132,7 +132,6 @@ def _stored(a: str, s: int) -> str:
 def build_chunk_model(spec: ChunkSpec) -> IntegerProgram:
     """Build the 0/1 program for one chunk."""
     prog = IntegerProgram(name=f"ucc-ra:{spec.fn.name}[{spec.lo}:{spec.hi})")
-    energy = spec.energy
     names = spec.variables()
     points = range(spec.hi - spec.lo + 1)
 

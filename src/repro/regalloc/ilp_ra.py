@@ -112,6 +112,7 @@ def allocate_ucc_ilp(
         }
         incumbent = greedy_incumbent(spec, assignment)
         result = solve(model, backend=backend, incumbent=incumbent)
+        _audit_solution(model, result)
         if result.status != "optimal":
             report.chunks.append(
                 ILPChunkOutcome(
@@ -130,6 +131,22 @@ def allocate_ucc_ilp(
             )
         )
     return record, report
+
+
+def _audit_solution(model, result) -> None:
+    """Cross-check an "optimal" solve against its own model.
+
+    Imported lazily — ``regalloc.__init__`` pulls this module in, so a
+    top-level import of :mod:`repro.analysis` would cycle.
+    """
+    from ..analysis.base import VerificationError, VerificationReport
+    from ..analysis.energy_audit import PASS_NAME, audit_ilp_solution
+
+    findings = audit_ilp_solution(model, result)
+    if findings:
+        report = VerificationReport()
+        report.extend(PASS_NAME, findings)
+        raise VerificationError(report)
 
 
 def build_spec_for_chunk(

@@ -21,7 +21,6 @@ import itertools
 import time
 from dataclasses import dataclass
 
-from ..ir.liveness import interference_pairs
 from ..isa import registers as regs
 from .ilp_model import ChunkSpec, greedy_incumbent, nonlinear_objective
 

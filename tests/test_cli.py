@@ -94,3 +94,29 @@ class TestCaseCommand:
 
     def test_unknown_case(self, capsys):
         assert main(["case", "nope"]) == 2
+
+
+class TestVerifyCommand:
+    def test_verify_files(self, source_file, edited_file, capsys):
+        assert main(["verify", source_file, edited_file]) == 0
+        out = capsys.readouterr().out
+        assert "pass allocation" in out
+        assert "pass patch" in out
+        assert ": ok" in out
+
+    def test_verify_case(self, capsys):
+        assert main(["verify", "--case", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verify case 2" in out
+        assert "pass energy" in out
+
+    def test_verify_case_with_ilp(self, capsys):
+        assert main(["verify", "--case", "1", "--ra", "ucc-ilp"]) == 0
+        out = capsys.readouterr().out
+        assert "ra=ucc-ilp" in out
+
+    def test_verify_unknown_case(self, capsys):
+        assert main(["verify", "--case", "nope"]) == 2
+
+    def test_verify_without_inputs(self, capsys):
+        assert main(["verify"]) == 2

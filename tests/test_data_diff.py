@@ -1,6 +1,5 @@
 """Data-segment diff/patch tests."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.diff import DataScript, apply_data, diff_data

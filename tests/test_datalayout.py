@@ -1,6 +1,5 @@
 """Data-layout tests: GCC-DA baseline and UCC-DA threshold algorithm."""
 
-import pytest
 
 from repro.datalayout import (
     DataLayout,

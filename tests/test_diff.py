@@ -151,6 +151,41 @@ class TestPatcher:
         with pytest.raises(PatchError):
             verify_patch(old, wrong, diff.script)
 
+    def test_divergence_error_carries_structured_fields(self):
+        old = make_image([("ldi", 1), ("add", 3), ("ldi", 7)])
+        new = make_image([("ldi", 1), ("add", 4), ("ldi", 7)])
+        wrong = make_image([("ldi", 1), ("add", 5), ("ldi", 7)])
+        diff = diff_images(old, new)
+        with pytest.raises(PatchError) as excinfo:
+            verify_patch(old, wrong, diff.script)
+        error = excinfo.value
+        divergence = next(
+            i
+            for i, (a, b) in enumerate(zip(new.words(), wrong.words()))
+            if a != b
+        )
+        assert error.word_index == divergence
+        assert error.expected == wrong.words()[divergence]
+        assert error.actual == new.words()[divergence]
+        assert error.primitive_index is not None
+        assert error.primitive == diff.script.primitives[
+            error.primitive_index
+        ].op.name.lower()
+        assert f"word {error.word_index}" in str(error)
+
+    def test_overrun_error_names_the_primitive(self):
+        old = make_image([("ldi", 1), ("add", 3)])
+        new = make_image([("ldi", 2), ("add", 3)])
+        short = make_image([("ldi", 1)])
+        diff = diff_images(old, new)
+        with pytest.raises(PatchError) as excinfo:
+            apply_script(short, diff.script)
+        error = excinfo.value
+        assert error.primitive_index is not None
+        if error.primitive is not None:
+            assert error.primitive in ("copy", "remove", "replace", "insert")
+        assert "primitive" in str(error) or "consumed" in str(error)
+
     @settings(max_examples=60, deadline=None)
     @given(
         st.lists(st.integers(0, 200), min_size=0, max_size=25),

@@ -17,7 +17,7 @@ from repro.regalloc import (
     verify_allocation,
 )
 from repro.regalloc.chunks import changed_indices
-from repro.regalloc.ilp_model import ChunkSpec, THETA, greedy_incumbent
+from repro.regalloc.ilp_model import THETA, greedy_incumbent
 from repro.workloads import CASES
 
 

@@ -14,7 +14,7 @@ import pytest
 from repro.core import measure_cycles, plan_update
 from repro.diff.patcher import patched_words
 from repro.sim import DeviceBoard, Timer, run_image
-from repro.workloads import CASES, DATA_CASE_IDS, RA_CASE_IDS
+from repro.workloads import CASES, RA_CASE_IDS
 
 ALL_IDS = sorted(CASES)
 
@@ -116,3 +116,25 @@ class TestPaperShapes:
             ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
             slowdown = ucc.new_cycles - baseline.new_cycles
             assert abs(slowdown) <= max(10, 0.01 * baseline.new_cycles), cid
+
+
+class TestCheckedPipeline:
+    """End-to-end exercise of the checked=True verification mode."""
+
+    @pytest.mark.parametrize("case_id", ["1", "5", "9", "D1"])
+    def test_checked_plan_ships_verified_update(self, case_id, compiled_case_olds):
+        case = CASES[case_id]
+        result = plan_update(
+            compiled_case_olds[case_id], case.new_source, checked=True
+        )
+        # a checked plan that returns has passed every analysis pass;
+        # the shipped script still round-trips on the sensor side
+        rebuilt = patched_words(result.old.image, result.diff.script)
+        assert rebuilt == result.new.image.words()
+
+    def test_checked_plan_with_ilp_allocator(self, compiled_case_olds):
+        case = CASES["4"]
+        result = plan_update(
+            compiled_case_olds["4"], case.new_source, ra="ucc-ilp", checked=True
+        )
+        assert result.new.options.checked

@@ -1,8 +1,7 @@
 """IR lowering unit tests."""
 
-import pytest
 
-from repro.ir import IROp, Imm, MemRef, VReg, build_ir
+from repro.ir import IROp, Imm, build_ir
 from repro.lang import frontend
 
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import Compiler, CompilerOptions, compile_source
 from repro.ir import IRInterpError, run_ir
-from repro.sim import DeviceBoard, Timer, run_image
+from repro.sim import run_image
 
 
 def front_middle(source, optimize=True):

@@ -14,7 +14,7 @@ from repro.isa import (
     encode,
     label,
 )
-from repro.isa.instructions import F_ADDR, F_BR, F_IMM, F_NONE, F_RR
+from repro.isa.instructions import F_ADDR, F_BR, F_IMM, F_RR
 
 
 class TestOpcodeTable:

@@ -5,7 +5,6 @@ the simulator's AVR-style flag behaviour — the foundation the compiled
 carry chains (ADD/ADC, SUB/SBC, CP/CPC, shifts through carry) rest on.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import MachineInstr, assemble, label
@@ -128,8 +127,6 @@ class TestCompareFlags:
 
 class TestMemoryAndPointer:
     def test_post_increment_load(self):
-        from repro.isa import devices
-
         program = [
             label("main"),
             MachineInstr("ldi", rd=30, imm=0x00),

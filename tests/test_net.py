@@ -6,7 +6,6 @@ from repro.diff import EditScript, packetize
 from repro.energy import MICA2
 from repro.net import (
     ReportModel,
-    Topology,
     disseminate,
     grid,
     line,

@@ -128,7 +128,7 @@ class TestUnreachable:
 
     def test_reachable_code_kept(self):
         fn = lower_fn("void f(u8 a) { if (a) { led_set(1); } led_set(2); }")
-        changed = remove_unreachable(fn)
+        remove_unreachable(fn)
         writes = [i for i in fn.instrs if i.op is IROp.IOWRITE]
         assert len(writes) == 2
 

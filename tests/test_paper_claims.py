@@ -7,7 +7,7 @@ index of the reproduction.
 
 import pytest
 
-from repro.core import UpdatePlanner, compile_source, measure_cycles, plan_update
+from repro.core import compile_source, measure_cycles, plan_update
 from repro.energy import DEFAULT_ENERGY_MODEL, MICA2
 from repro.workloads import CASES
 

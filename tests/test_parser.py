@@ -71,7 +71,6 @@ class TestStatements:
         assert isinstance(stmt, ast.DeclStmt)
 
     def test_plain_assignment(self):
-        stmt = first_stmt("u8 x; x = 2;")
         second = parse_fn("u8 x; x = 2;").body.statements[1]
         assert isinstance(second, ast.AssignStmt)
         assert second.op == ""
@@ -175,7 +174,6 @@ class TestExpressions:
         assert expr.left.op == "-"
 
     def test_index_expression(self):
-        stmt = first_stmt("u8 t[4]; t[2] = 1;")
         second = parse_fn("u8 t[4]; t[2] = 1;").body.statements[1]
         assert isinstance(second.target, ast.IndexExpr)
 

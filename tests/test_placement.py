@@ -1,7 +1,6 @@
 """Code-placement tests (the paper's future-work dimension, see
 repro.codegen.placement)."""
 
-import pytest
 
 from repro.codegen.placement import (
     PlacementPlan,

@@ -1,6 +1,5 @@
 """Profile-guided update planning (paper §2.1's execution profiles)."""
 
-import pytest
 
 from repro.core import UpdatePlanner, compile_source, plan_update, profile_program
 from repro.workloads import CASES

@@ -1,11 +1,9 @@
 """Cross-cutting property-based tests on core invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import compile_source, plan_update
 from repro.datalayout import (
-    DataLayout,
     LayoutObject,
     allocate_gcc_da,
     allocate_ucc_da,

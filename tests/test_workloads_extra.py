@@ -6,7 +6,7 @@ from repro.core import compile_source, plan_update
 from repro.diff.patcher import patched_words
 from repro.ir import run_ir
 from repro.sim import DeviceBoard, Timer, run_image
-from repro.workloads.extra import EXTRA_PROGRAMS, OSCILLOSCOPE, SURGE
+from repro.workloads.extra import EXTRA_PROGRAMS, SURGE
 
 
 @pytest.fixture(scope="module")
@@ -21,7 +21,7 @@ class TestSurge:
 
     def test_packets_have_multihop_header(self, compiled_extra):
         board = DeviceBoard(timer=Timer(period_cycles=300))
-        result = run_image(compiled_extra["Surge"].image, devices=board)
+        run_image(compiled_extra["Surge"].image, devices=board)
         sent = board.radio.sent
         assert len(sent) >= 8
         quads = [sent[i : i + 4] for i in range(0, len(sent) - 3, 4)]
@@ -84,7 +84,7 @@ class TestOscilloscope:
 
     def test_batches_framed_with_marker(self, compiled_extra):
         board = DeviceBoard(timer=Timer(period_cycles=300))
-        result = run_image(compiled_extra["Oscilloscope"].image, devices=board)
+        run_image(compiled_extra["Oscilloscope"].image, devices=board)
         sent = board.radio.sent
         markers = [i for i, w in enumerate(sent) if w == 0xBEEF]
         assert markers
