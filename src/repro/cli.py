@@ -22,6 +22,12 @@ Commands
     Plan an update and run every static verification pass
     (:mod:`repro.analysis`) over the products; print the per-pass
     report and exit non-zero when any pass fails.
+
+``fuzz --seed N --iters K``
+    Run a deterministic end-to-end update fuzzing campaign
+    (:mod:`repro.fuzz`): random programs, semantic edits, differential
+    oracles; shrunk failing reproducers land in the corpus directory
+    and the exit status is non-zero when any oracle failed.
 """
 
 from __future__ import annotations
@@ -142,6 +148,37 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import GenConfig, run_fuzz
+
+    config = GenConfig(
+        max_funcs=args.max_funcs,
+        scheduler_iters=args.scheduler_iters,
+    )
+
+    def on_progress(iteration, verdict):
+        if args.quiet:
+            return
+        if not verdict.ok:
+            print(f"iteration {iteration}: {verdict.summary()}")
+        elif (iteration + 1) % 25 == 0:
+            print(f"... {iteration + 1}/{args.iters} iterations")
+
+    report = run_fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        max_edits=args.max_edits,
+        corpus_dir=args.corpus,
+        ra=args.ra,
+        da=args.da,
+        config=config,
+        on_progress=on_progress,
+        shrink_findings=not args.no_shrink,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--baseline-ra", default="gcc",
                           choices=["gcc", "linear"])
     p_verify.set_defaults(func=cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="run the end-to-end update fuzzing campaign"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--iters", type=int, default=100)
+    p_fuzz.add_argument("--max-edits", type=int, default=3,
+                        help="max semantic edits per generated pair")
+    p_fuzz.add_argument("--corpus", default=None,
+                        help="directory for shrunk failing reproducers")
+    p_fuzz.add_argument("--ra", default="ucc",
+                        choices=["ucc", "ucc-ilp", "gcc", "linear"])
+    p_fuzz.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
+    p_fuzz.add_argument("--max-funcs", type=int, default=3,
+                        help="max helper functions per generated program")
+    p_fuzz.add_argument("--scheduler-iters", type=int, default=24,
+                        help="iterations of main's scheduler loop")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of failing cases")
+    p_fuzz.add_argument("--quiet", action="store_true")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,736 @@
+"""Seeded generator of well-typed ucc-C programs.
+
+The fuzzer does not mutate source *text* — it generates a structured
+program model (:class:`GenProgram`) and renders it, so the semantic
+edit mutator (:mod:`repro.fuzz.mutator`) can derive realistic update
+pairs and the shrinker (:mod:`repro.fuzz.shrinker`) can delete whole
+functions/statements/globals without ever producing syntax errors.
+
+Generated programs are well-typed and terminating by construction:
+
+* every loop is a ``for`` with a constant bound and a dedicated loop
+  variable that the body never reassigns;
+* every array access is provably in bounds (constant index, loop
+  variable whose bound is the array length, or ``expr % length``);
+* every local is initialised at its declaration (an uninitialised
+  local could legally read different garbage under different register
+  allocations, which would poison the differential trace oracle);
+* user-function calls appear only at statement level and only target
+  earlier-defined functions, so the call graph is acyclic;
+* ``main`` is last and ends in ``halt()``.
+
+Division/modulo only ever use non-zero constant divisors so constant
+folding cannot fault, and shifts use constant amounts 0..7.
+
+Everything is driven by a caller-supplied :class:`random.Random`, so
+the same seed reproduces the same program on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+# ---------------------------------------------------------------------------
+# Expression model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Const:
+    value: int
+
+    def render(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class Var:
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass
+class Index:
+    """``base[index]`` with an in-bounds-by-construction index."""
+
+    base: str
+    index: "Expr"
+
+    def render(self) -> str:
+        return f"{self.base}[{self.index.render()}]"
+
+
+@dataclass
+class Bin:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass
+class Un:
+    op: str
+    operand: "Expr"
+
+    def render(self) -> str:
+        return f"({self.op}{self.operand.render()})"
+
+
+@dataclass
+class CallE:
+    """A value-producing *builtin* call usable inside expressions.
+
+    User-defined functions are only ever called at statement level
+    (:class:`CallStmt` / assignment sources), which keeps function
+    removal edits purely structural.
+    """
+
+    name: str
+    args: tuple["Expr", ...] = ()
+
+    def render(self) -> str:
+        return f"{self.name}({', '.join(a.render() for a in self.args)})"
+
+
+Expr = object  # union of the node classes above; kept loose for py39
+
+#: Binary operators safe with arbitrary operands.
+SAFE_BIN_OPS = ("+", "-", "*", "&", "|", "^")
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+#: Operators with constrained right operands.
+SHIFT_OPS = ("<<", ">>")
+DIV_OPS = ("/", "%")
+
+#: Value-producing device builtins usable in expressions.
+VALUE_BUILTINS = ("adc_read", "timer_fired", "led_get")
+
+
+# ---------------------------------------------------------------------------
+# Statement model (every statement carries a stable id for edits/shrinks)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeclStmt:
+    sid: int
+    name: str
+    ctype: str  # "u8" | "u16"
+    init: Expr
+
+    def render(self, indent: str) -> list[str]:
+        return [f"{indent}{self.ctype} {self.name} = {self.init.render()};"]
+
+
+@dataclass
+class AssignStmt:
+    sid: int
+    target: Expr  # Var or Index
+    value: Expr
+
+    def render(self, indent: str) -> list[str]:
+        return [f"{indent}{self.target.render()} = {self.value.render()};"]
+
+
+@dataclass
+class CallStmt:
+    """Statement-level call: user function or void/ignored builtin."""
+
+    sid: int
+    name: str
+    args: tuple[Expr, ...] = ()
+    #: assign the (non-void) result to this variable, or discard
+    assign_to: str | None = None
+
+    def render(self, indent: str) -> list[str]:
+        call = f"{self.name}({', '.join(a.render() for a in self.args)})"
+        if self.assign_to is not None:
+            return [f"{indent}{self.assign_to} = {call};"]
+        return [f"{indent}{call};"]
+
+
+@dataclass
+class IfStmt:
+    sid: int
+    cond: Expr
+    then_body: list = field(default_factory=list)
+    else_body: list | None = None
+
+    def render(self, indent: str) -> list[str]:
+        lines = [f"{indent}if ({self.cond.render()}) {{"]
+        for stmt in self.then_body:
+            lines.extend(stmt.render(indent + "    "))
+        if self.else_body is not None:
+            lines.append(f"{indent}}} else {{")
+            for stmt in self.else_body:
+                lines.extend(stmt.render(indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class ForStmt:
+    """``for (var = 0; var < bound; var++)`` over a dedicated local."""
+
+    sid: int
+    var: str
+    bound: int
+    body: list = field(default_factory=list)
+
+    def render(self, indent: str) -> list[str]:
+        lines = [
+            f"{indent}for ({self.var} = 0; {self.var} < {self.bound}; "
+            f"{self.var}++) {{"
+        ]
+        for stmt in self.body:
+            lines.extend(stmt.render(indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class ReturnStmt:
+    sid: int
+    value: Expr | None = None
+
+    def render(self, indent: str) -> list[str]:
+        if self.value is None:
+            return [f"{indent}return;"]
+        return [f"{indent}return {self.value.render()};"]
+
+
+@dataclass
+class HaltStmt:
+    sid: int
+
+    def render(self, indent: str) -> list[str]:
+        return [f"{indent}halt();"]
+
+
+# ---------------------------------------------------------------------------
+# Top-level model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    ctype: str  # "u8" | "u16"
+    length: int | None = None  # array length; None = scalar
+    init: object = None  # int, tuple of ints, or None
+    const: bool = False
+
+    def max_value(self) -> int:
+        return 0xFF if self.ctype == "u8" else 0xFFFF
+
+    def render(self) -> str:
+        prefix = "const " if self.const else ""
+        if self.length is not None:
+            decl = f"{prefix}{self.ctype} {self.name}[{self.length}]"
+            if self.init is not None:
+                items = ", ".join(str(v) for v in self.init)
+                return f"{decl} = {{{items}}};"
+            return f"{decl};"
+        decl = f"{prefix}{self.ctype} {self.name}"
+        if self.init is not None:
+            return f"{decl} = {self.init};"
+        return f"{decl};"
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: str  # "void" | "u8" | "u16"
+    params: list = field(default_factory=list)  # [(name, ctype)]
+    body: list = field(default_factory=list)
+
+    def render(self) -> list[str]:
+        params = ", ".join(f"{ctype} {name}" for name, ctype in self.params)
+        lines = [f"{self.ret} {self.name}({params}) {{"]
+        for stmt in self.body:
+            lines.extend(stmt.render("    "))
+        lines.append("}")
+        return lines
+
+
+@dataclass
+class GenProgram:
+    """A generated translation unit; ``funcs[-1]`` is ``main``."""
+
+    globals: list = field(default_factory=list)  # [GlobalVar]
+    funcs: list = field(default_factory=list)  # [FuncDef]
+    #: next fresh statement id (monotone; never reused)
+    next_sid: int = 0
+
+    def fresh_sid(self) -> int:
+        sid = self.next_sid
+        self.next_sid += 1
+        return sid
+
+    def func(self, name: str) -> FuncDef | None:
+        for fn in self.funcs:
+            if fn.name == name:
+                return fn
+        return None
+
+    def global_var(self, name: str) -> GlobalVar | None:
+        for g in self.globals:
+            if g.name == name:
+                return g
+        return None
+
+    def render(self) -> str:
+        lines = ["// generated by repro.fuzz.progen"]
+        for g in self.globals:
+            lines.append(g.render())
+        for fn in self.funcs:
+            lines.append("")
+            lines.extend(fn.render())
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Statement walking helpers (shared with the mutator and shrinker)
+# ---------------------------------------------------------------------------
+
+_BODY_FIELDS = {
+    IfStmt: ("then_body", "else_body"),
+    ForStmt: ("body",),
+}
+
+
+def iter_stmts(body: list, *, nested: bool = True):
+    """Yield every statement in ``body`` (depth-first, pre-order)."""
+    for stmt in body:
+        yield stmt
+        if not nested:
+            continue
+        for field_name in _BODY_FIELDS.get(type(stmt), ()):
+            sub = getattr(stmt, field_name)
+            if sub is not None:
+                yield from iter_stmts(sub)
+
+
+def iter_bodies(body: list):
+    """Yield every statement list reachable from ``body`` (incl. itself)."""
+    yield body
+    for stmt in body:
+        for field_name in _BODY_FIELDS.get(type(stmt), ()):
+            sub = getattr(stmt, field_name)
+            if sub is not None:
+                yield from iter_bodies(sub)
+
+
+def find_stmt(program: GenProgram, sid: int):
+    """Locate statement ``sid``: returns (func, containing_body, index)."""
+    for fn in program.funcs:
+        for body in iter_bodies(fn.body):
+            for index, stmt in enumerate(body):
+                if stmt.sid == sid:
+                    return fn, body, index
+    return None
+
+
+def stmt_exprs(stmt) -> list:
+    """The expression slots of one statement (no recursion into bodies)."""
+    if isinstance(stmt, DeclStmt):
+        return [stmt.init]
+    if isinstance(stmt, AssignStmt):
+        return [stmt.target, stmt.value]
+    if isinstance(stmt, CallStmt):
+        return list(stmt.args)
+    if isinstance(stmt, IfStmt):
+        return [stmt.cond]
+    if isinstance(stmt, ReturnStmt):
+        return [stmt.value] if stmt.value is not None else []
+    return []
+
+
+def iter_exprs(expr):
+    """Yield every node of one expression tree, pre-order."""
+    yield expr
+    if isinstance(expr, Bin):
+        yield from iter_exprs(expr.left)
+        yield from iter_exprs(expr.right)
+    elif isinstance(expr, Un):
+        yield from iter_exprs(expr.operand)
+    elif isinstance(expr, Index):
+        yield from iter_exprs(expr.index)
+    elif isinstance(expr, CallE):
+        for arg in expr.args:
+            yield from iter_exprs(arg)
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size knobs of one generated program."""
+
+    max_globals: int = 5
+    max_arrays: int = 2
+    max_array_len: int = 8
+    max_funcs: int = 3  # helper functions besides main
+    max_params: int = 2
+    max_stmts: int = 5  # per body
+    max_depth: int = 2  # expression depth
+    max_nesting: int = 2  # statement nesting (if/for)
+    max_loop_bound: int = 6
+    scheduler_iters: int = 24  # main's bounded event loop
+
+
+class _Scope:
+    """Names visible while generating one function body."""
+
+    def __init__(self, program: GenProgram, fn: FuncDef):
+        self.program = program
+        self.fn = fn
+        #: scalar names readable here -> ctype
+        self.scalars: dict[str, str] = {}
+        #: scalar names writable here (excludes consts and params)
+        self.writable: list[str] = []
+        #: array name -> (length, writable)
+        self.arrays: dict[str, tuple[int, bool]] = {}
+        #: loop variables currently in scope -> bound
+        self.loops: dict[str, int] = {}
+        for g in program.globals:
+            if g.length is None:
+                self.scalars[g.name] = g.ctype
+                if not g.const:
+                    self.writable.append(g.name)
+            else:
+                self.arrays[g.name] = (g.length, not g.const)
+        for name, ctype in fn.params:
+            self.scalars[name] = ctype
+
+    def declare_local(self, name: str, ctype: str) -> None:
+        self.scalars[name] = ctype
+        self.writable.append(name)
+
+    def declare_loop_var(self, name: str, ctype: str = "u16") -> None:
+        """Loop counters are readable but never assignment targets —
+        a generated body that reset its own counter would not
+        terminate."""
+        self.scalars[name] = ctype
+
+
+class ProgramGenerator:
+    """Generates one :class:`GenProgram` from a seeded RNG."""
+
+    def __init__(self, rng: random.Random, config: GenConfig | None = None):
+        self.rng = rng
+        self.config = config or GenConfig()
+
+    # -- expressions -----------------------------------------------------
+
+    def gen_expr(self, scope: _Scope, depth: int | None = None):
+        rng = self.rng
+        depth = self.config.max_depth if depth is None else depth
+        if depth <= 0 or rng.random() < 0.3:
+            return self._gen_leaf(scope)
+        roll = rng.random()
+        if roll < 0.55:
+            op = rng.choice(SAFE_BIN_OPS)
+            return Bin(op, self.gen_expr(scope, depth - 1), self.gen_expr(scope, depth - 1))
+        if roll < 0.70:
+            op = rng.choice(CMP_OPS)
+            return Bin(op, self.gen_expr(scope, depth - 1), self.gen_expr(scope, depth - 1))
+        if roll < 0.80:
+            op = rng.choice(SHIFT_OPS)
+            return Bin(op, self.gen_expr(scope, depth - 1), Const(rng.randrange(8)))
+        if roll < 0.88:
+            op = rng.choice(DIV_OPS)
+            return Bin(op, self.gen_expr(scope, depth - 1), Const(rng.randrange(1, 16)))
+        if roll < 0.96:
+            return Un(rng.choice(("-", "~", "!")), self.gen_expr(scope, depth - 1))
+        return CallE(rng.choice(VALUE_BUILTINS))
+
+    def _gen_leaf(self, scope: _Scope):
+        rng = self.rng
+        choices = ["const"]
+        if scope.scalars:
+            choices += ["scalar"] * 3
+        if scope.loops:
+            choices += ["loop"] * 2
+        if scope.arrays:
+            choices.append("array")
+        kind = rng.choice(choices)
+        if kind == "scalar":
+            return Var(rng.choice(sorted(scope.scalars)))
+        if kind == "loop":
+            return Var(rng.choice(sorted(scope.loops)))
+        if kind == "array":
+            name = rng.choice(sorted(scope.arrays))
+            length, _ = scope.arrays[name]
+            return Index(name, self._gen_index(scope, length))
+        return Const(rng.randrange(0, 256))
+
+    def _gen_index(self, scope: _Scope, length: int):
+        """An index expression guaranteed to land inside ``length``."""
+        rng = self.rng
+        fitting = [v for v, bound in scope.loops.items() if bound <= length]
+        roll = rng.random()
+        if fitting and roll < 0.5:
+            return Var(rng.choice(sorted(fitting)))
+        if roll < 0.8:
+            return Const(rng.randrange(length))
+        return Bin("%", self.gen_expr(scope, 1), Const(length))
+
+    # -- statements ------------------------------------------------------
+
+    def gen_stmt(self, program: GenProgram, scope: _Scope, nesting: int):
+        rng = self.rng
+        choices = ["assign"] * 3 + ["device"] * 2
+        if scope.writable:
+            choices += ["assign"]
+        if nesting > 0:
+            choices += ["if", "for"]
+        callees = [
+            fn
+            for fn in program.funcs[: program.funcs.index(scope.fn)]
+            if fn is not scope.fn
+        ]
+        if callees:
+            choices += ["call"] * 2
+        kind = rng.choice(choices)
+        if kind == "assign" and (scope.writable or scope.arrays):
+            return self._gen_assign(program, scope)
+        if kind == "device":
+            return self._gen_device(program, scope)
+        if kind == "if":
+            return self._gen_if(program, scope, nesting)
+        if kind == "for":
+            return self._gen_for(program, scope, nesting)
+        if kind == "call":
+            return self._gen_call(program, scope, rng.choice(callees))
+        return self._gen_device(program, scope)
+
+    def _gen_assign(self, program: GenProgram, scope: _Scope):
+        rng = self.rng
+        writable_arrays = [n for n, (_, w) in scope.arrays.items() if w]
+        if writable_arrays and (not scope.writable or rng.random() < 0.3):
+            name = rng.choice(sorted(writable_arrays))
+            length, _ = scope.arrays[name]
+            target = Index(name, self._gen_index(scope, length))
+        elif scope.writable:
+            target = Var(rng.choice(sorted(set(scope.writable))))
+        else:
+            return self._gen_device(program, scope)
+        return AssignStmt(program.fresh_sid(), target, self.gen_expr(scope))
+
+    def _gen_device(self, program: GenProgram, scope: _Scope):
+        rng = self.rng
+        if rng.random() < 0.5:
+            return CallStmt(
+                program.fresh_sid(), "led_set", (self.gen_expr(scope, 1),)
+            )
+        return CallStmt(
+            program.fresh_sid(), "radio_send", (self.gen_expr(scope, 1),)
+        )
+
+    def _gen_if(self, program: GenProgram, scope: _Scope, nesting: int):
+        rng = self.rng
+        cond = self.gen_expr(scope)
+        if rng.random() < 0.3:
+            cond = CallE("timer_fired")
+        then_body = self._gen_body(program, scope, nesting - 1)
+        else_body = (
+            self._gen_body(program, scope, nesting - 1)
+            if rng.random() < 0.35
+            else None
+        )
+        return IfStmt(program.fresh_sid(), cond, then_body, else_body)
+
+    def _gen_for(self, program: GenProgram, scope: _Scope, nesting: int):
+        rng = self.rng
+        # The loop variable is a dedicated local declared at the top of
+        # the function; _gen_function pre-declares i0..i(max_nesting-1).
+        # Count only the active i-loops: main's scheduler loop also sits
+        # in scope.loops but owns its own counter.
+        var = f"i{sum(1 for name in scope.loops if name.startswith('i'))}"
+        bound = rng.randrange(2, self.config.max_loop_bound + 1)
+        scope.loops[var] = bound
+        body = self._gen_body(program, scope, nesting - 1)
+        del scope.loops[var]
+        return ForStmt(program.fresh_sid(), var, bound, body)
+
+    def _gen_call(self, program: GenProgram, scope: _Scope, callee: FuncDef):
+        rng = self.rng
+        args = tuple(self.gen_expr(scope, 1) for _ in callee.params)
+        assign_to = None
+        if callee.ret != "void" and scope.writable and rng.random() < 0.6:
+            assign_to = rng.choice(sorted(set(scope.writable)))
+        return CallStmt(program.fresh_sid(), callee.name, args, assign_to)
+
+    def _gen_body(self, program: GenProgram, scope: _Scope, nesting: int):
+        count = self.rng.randrange(1, self.config.max_stmts + 1)
+        return [self.gen_stmt(program, scope, nesting) for _ in range(count)]
+
+    # -- top level -------------------------------------------------------
+
+    def _gen_globals(self, program: GenProgram) -> None:
+        rng = self.rng
+        n_scalars = rng.randrange(1, self.config.max_globals + 1)
+        for index in range(n_scalars):
+            ctype = rng.choice(("u8", "u16"))
+            limit = 256 if ctype == "u8" else 65536
+            program.globals.append(
+                GlobalVar(
+                    name=f"g{index}",
+                    ctype=ctype,
+                    init=rng.randrange(limit) if rng.random() < 0.8 else None,
+                )
+            )
+        n_arrays = rng.randrange(0, self.config.max_arrays + 1)
+        for index in range(n_arrays):
+            length = rng.randrange(2, self.config.max_array_len + 1)
+            const = rng.random() < 0.3
+            init = None
+            if const or rng.random() < 0.5:
+                init = tuple(rng.randrange(256) for _ in range(length))
+            program.globals.append(
+                GlobalVar(
+                    name=f"arr{index}",
+                    ctype="u8",
+                    length=length,
+                    init=init,
+                    const=const,
+                )
+            )
+
+    def _gen_function(
+        self, program: GenProgram, name: str, *, is_main: bool
+    ) -> FuncDef:
+        rng = self.rng
+        if is_main:
+            fn = FuncDef(name="main", ret="void")
+        else:
+            ret = rng.choice(("void", "u8", "u16"))
+            params = [
+                (f"p{i}", rng.choice(("u8", "u16")))
+                for i in range(rng.randrange(0, self.config.max_params + 1))
+            ]
+            fn = FuncDef(name=name, ret=ret, params=params)
+        program.funcs.append(fn)
+        scope = _Scope(program, fn)
+        # A couple of initialised scalar locals plus the loop variables.
+        for index in range(rng.randrange(0, 3)):
+            lname = f"t{index}"
+            ctype = rng.choice(("u8", "u16"))
+            fn.body.append(
+                DeclStmt(
+                    program.fresh_sid(),
+                    lname,
+                    ctype,
+                    Const(rng.randrange(256)),
+                )
+            )
+            scope.declare_local(lname, ctype)
+        for index in range(self.config.max_nesting):
+            lname = f"i{index}"
+            fn.body.append(
+                DeclStmt(program.fresh_sid(), lname, "u16", Const(0))
+            )
+            scope.declare_loop_var(lname)
+        fn.body.extend(self._gen_body(program, scope, self.config.max_nesting))
+        if is_main:
+            # The TinyOS-style bounded scheduler loop, then halt.
+            var = "sched"
+            fn.body.append(DeclStmt(program.fresh_sid(), var, "u16", Const(0)))
+            scope.declare_loop_var(var)
+            scope.loops[var] = self.config.scheduler_iters
+            loop_body = self._gen_body(program, scope, 1)
+            del scope.loops[var]
+            fn.body.append(
+                ForStmt(
+                    program.fresh_sid(),
+                    var,
+                    self.config.scheduler_iters,
+                    loop_body,
+                )
+            )
+            fn.body.append(HaltStmt(program.fresh_sid()))
+        elif fn.ret != "void":
+            fn.body.append(
+                ReturnStmt(program.fresh_sid(), self.gen_expr(scope))
+            )
+        return fn
+
+    def generate(self) -> GenProgram:
+        program = GenProgram()
+        self._gen_globals(program)
+        n_helpers = self.rng.randrange(1, self.config.max_funcs + 1)
+        for index in range(n_helpers):
+            self._gen_function(program, f"fn{index}", is_main=False)
+        self._gen_function(program, "main", is_main=True)
+        return program
+
+
+def generate_program(
+    seed_rng: random.Random, config: GenConfig | None = None
+) -> GenProgram:
+    """One-call generation with validation.
+
+    The rendered program is run through the real front end; a semantic
+    rejection here is a generator bug, so it raises immediately rather
+    than being silently skipped (the fuzzer's coverage claim depends on
+    every generated program actually compiling).
+    """
+    program = ProgramGenerator(seed_rng, config).generate()
+    validate(program)
+    return program
+
+
+def validate(program: GenProgram) -> None:
+    """Run the real front end over the rendered model (raises on error)."""
+    from ..lang import frontend
+
+    frontend(program.render(), "<fuzz>")
+
+
+def clone(program: GenProgram) -> GenProgram:
+    """Deep copy (edits and shrinks never mutate the original)."""
+    import copy
+
+    return copy.deepcopy(program)
+
+
+__all__ = [
+    "AssignStmt",
+    "Bin",
+    "CallE",
+    "CallStmt",
+    "CMP_OPS",
+    "Const",
+    "DeclStmt",
+    "ForStmt",
+    "FuncDef",
+    "GenConfig",
+    "GenProgram",
+    "GlobalVar",
+    "HaltStmt",
+    "IfStmt",
+    "Index",
+    "ProgramGenerator",
+    "ReturnStmt",
+    "SAFE_BIN_OPS",
+    "Un",
+    "Var",
+    "clone",
+    "find_stmt",
+    "generate_program",
+    "iter_bodies",
+    "iter_exprs",
+    "iter_stmts",
+    "stmt_exprs",
+    "validate",
+    "replace",
+]

@@ -1,0 +1,180 @@
+"""Delta-debugging shrinker: reduce a failing edit to a minimal repro.
+
+A fuzz finding is a pair ``(base program, edit list)`` whose rendered
+sources fail at least one oracle.  The shrinker minimises both halves
+while preserving failure:
+
+1. **edit reduction** — greedily drop edits one at a time (for the
+   short edit lists the fuzzer produces this is ddmin's fixpoint);
+2. **program reduction** — repeatedly try structural deletions on the
+   *base* program (drop a statement, a whole function, or a global,
+   folding uses the same way the corresponding mutator edits do) and
+   re-apply the surviving edits.  A reduction is kept only when the
+   reduced pair still compiles and still fails.
+
+Because edits address their targets by stable identity (statement ids,
+names), re-application after a deletion either works or raises
+:class:`~repro.fuzz.mutator.EditNotApplicable`, which simply rejects
+that reduction.
+
+Minimal reproducers are persisted to a corpus directory as rendered
+``old.c``/``new.c`` plus a ``meta.json`` describing the seed, the edit
+list, and the oracle failures — enough to replay the case without the
+fuzzer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..lang.errors import CompileError
+from .mutator import EditNotApplicable, RemoveFunction, RemoveGlobal, apply_edits
+from .progen import GenProgram, clone, iter_bodies, validate
+
+
+@dataclass
+class FuzzCase:
+    """One failing finding, before or after shrinking."""
+
+    program: GenProgram
+    edits: list
+    seed: int = 0
+    iteration: int = 0
+    failures: list = field(default_factory=list)
+
+    def sources(self) -> tuple[str, str]:
+        """Rendered (old, new) sources of the pair."""
+        old_source = self.program.render()
+        new_source = apply_edits(self.program, self.edits).render()
+        return old_source, new_source
+
+    def digest(self) -> str:
+        old_source, new_source = self.sources()
+        payload = (old_source + "\x00" + new_source).encode()
+        return hashlib.sha256(payload).hexdigest()[:12]
+
+
+def _pair_is_valid(program: GenProgram, edits: list) -> bool:
+    """Both halves of the reduced pair must still compile."""
+    try:
+        validate(program)
+        validate(apply_edits(program, edits))
+    except (EditNotApplicable, CompileError):
+        return False
+    return True
+
+
+def _stmt_count(program: GenProgram) -> int:
+    from .progen import iter_stmts
+
+    return sum(1 for fn in program.funcs for _ in iter_stmts(fn.body))
+
+
+def _program_reductions(program: GenProgram):
+    """Candidate structural deletions, coarsest first.
+
+    Yields ``(label, reduced_program)``; each candidate is built on a
+    fresh clone so rejected reductions leave no trace.
+    """
+    # whole functions (never main)
+    for fn in program.funcs[:-1]:
+        reduced = clone(program)
+        try:
+            RemoveFunction(name=fn.name).apply(reduced)
+        except EditNotApplicable:  # pragma: no cover - main is excluded
+            continue
+        yield f"drop function {fn.name}", reduced
+    # whole globals
+    for gvar in program.globals:
+        reduced = clone(program)
+        try:
+            RemoveGlobal(name=gvar.name).apply(reduced)
+        except EditNotApplicable:  # pragma: no cover
+            continue
+        yield f"drop global {gvar.name}", reduced
+    # individual statements (every nesting level)
+    sids = [
+        stmt.sid
+        for fn in program.funcs
+        for body in iter_bodies(fn.body)
+        for stmt in body
+    ]
+    for sid in sids:
+        reduced = clone(program)
+        for fn in reduced.funcs:
+            for body in iter_bodies(fn.body):
+                for index, stmt in enumerate(body):
+                    if stmt.sid == sid:
+                        del body[index]
+                        break
+        yield f"drop stmt #{sid}", reduced
+
+
+def shrink(case: FuzzCase, still_fails, max_rounds: int = 12) -> FuzzCase:
+    """Minimise ``case`` under the ``still_fails(program, edits) -> bool``
+    predicate (which must re-run the oracles on the rendered pair).
+
+    The predicate is only consulted on pairs that compile; everything
+    else is rejected outright.
+    """
+
+    def check(program: GenProgram, edits: list) -> bool:
+        return _pair_is_valid(program, edits) and still_fails(program, edits)
+
+    program, edits = case.program, list(case.edits)
+
+    # 1. drop edits (greedy one-at-a-time to fixpoint; lists are short)
+    changed = True
+    while changed and len(edits) > 1:
+        changed = False
+        for index in range(len(edits)):
+            candidate = edits[:index] + edits[index + 1 :]
+            if check(program, candidate):
+                edits = candidate
+                changed = True
+                break
+
+    # 2. structural program reductions to fixpoint
+    for _ in range(max_rounds):
+        for label, reduced in _program_reductions(program):
+            if check(reduced, edits):
+                program = reduced
+                break
+        else:
+            break
+
+    return FuzzCase(
+        program=program,
+        edits=edits,
+        seed=case.seed,
+        iteration=case.iteration,
+        failures=list(case.failures),
+    )
+
+
+def persist_case(corpus_dir, case: FuzzCase) -> Path:
+    """Write a reproducer directory; returns its path."""
+    corpus = Path(corpus_dir)
+    case_dir = corpus / f"case-{case.digest()}"
+    case_dir.mkdir(parents=True, exist_ok=True)
+    old_source, new_source = case.sources()
+    (case_dir / "old.c").write_text(old_source, encoding="utf-8")
+    (case_dir / "new.c").write_text(new_source, encoding="utf-8")
+    meta = {
+        "seed": case.seed,
+        "iteration": case.iteration,
+        "edits": [edit.describe() for edit in case.edits],
+        "failures": [f.render() for f in case.failures],
+        "statements": _stmt_count(case.program),
+        "replay": "python -m repro update old.c new.c  # or: repro verify old.c new.c",
+    }
+    (case_dir / "meta.json").write_text(
+        json.dumps(meta, indent=2) + "\n", encoding="utf-8"
+    )
+    return case_dir
+
+
+__all__ = ["FuzzCase", "persist_case", "shrink"]

@@ -1,11 +1,19 @@
 """Instruction-level mote simulator and peripherals."""
 
 from .devices import Adc, DeviceBoard, LedBank, Radio, Timer
-from .executor import RunResult, SimulationError, Simulator, run_image
+from .executor import (
+    Divergence,
+    RunResult,
+    SimulationError,
+    Simulator,
+    run_image,
+    traces_equal,
+)
 
 __all__ = [
     "Adc",
     "DeviceBoard",
+    "Divergence",
     "LedBank",
     "Radio",
     "RunResult",
@@ -13,4 +21,5 @@ __all__ = [
     "Simulator",
     "Timer",
     "run_image",
+    "traces_equal",
 ]

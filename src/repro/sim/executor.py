@@ -24,6 +24,64 @@ class SimulationError(Exception):
     """Raised on invalid execution (bad PC, stack mismatch, bad port)."""
 
 
+@dataclass(frozen=True)
+class Divergence:
+    """First observable difference between two simulation runs.
+
+    ``channel`` names the device stream ("led", "radio", "timer",
+    "adc", "halted", "main_returned"); ``index`` is the position of the
+    first differing event in that stream (``None`` for scalar
+    channels); ``a``/``b`` are the differing observations.
+    """
+
+    channel: str
+    a: object
+    b: object
+    index: int | None = None
+
+    def render(self) -> str:
+        at = f"[{self.index}]" if self.index is not None else ""
+        return f"{self.channel}{at}: {self.a!r} != {self.b!r}"
+
+
+def traces_equal(a: "RunResult", b: "RunResult") -> Divergence | None:
+    """Compare the observable device traces of two runs.
+
+    Two binaries are behaviourally equivalent for update purposes when
+    every externally visible effect matches: the LED write sequence,
+    the radio packet sequence, the timer fire count, the ADC sample
+    count, and how the run ended.  Returns ``None`` when the traces
+    agree, else the first :class:`Divergence` (sequence channels are
+    compared before scalar ones, so the returned divergence is the most
+    debuggable observation).
+    """
+    for channel, seq_a, seq_b in (
+        ("led", a.devices.led.writes, b.devices.led.writes),
+        ("radio", a.devices.radio.sent, b.devices.radio.sent),
+    ):
+        for index, (va, vb) in enumerate(zip(seq_a, seq_b)):
+            if va != vb:
+                return Divergence(channel=channel, a=va, b=vb, index=index)
+        if len(seq_a) != len(seq_b):
+            index = min(len(seq_a), len(seq_b))
+            longer = seq_a if len(seq_a) > len(seq_b) else seq_b
+            return Divergence(
+                channel=channel,
+                a=longer[index] if longer is seq_a else "<absent>",
+                b=longer[index] if longer is seq_b else "<absent>",
+                index=index,
+            )
+    for channel, va, vb in (
+        ("timer", a.devices.timer.fires, b.devices.timer.fires),
+        ("adc", a.devices.adc.reads, b.devices.adc.reads),
+        ("halted", a.halted, b.halted),
+        ("main_returned", a.main_returned, b.main_returned),
+    ):
+        if va != vb:
+            return Divergence(channel=channel, a=va, b=vb)
+    return None
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulation run."""

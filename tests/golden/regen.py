@@ -1,0 +1,61 @@
+"""Regenerate the golden baselines after an intentional planner change.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import compile_source, measure_cycles, plan_update
+from repro.energy import DEFAULT_ENERGY_MODEL
+from repro.workloads import CASES
+
+ENERGY_CASES = ["1", "4", "6", "8", "12"]
+ENERGY_CNT = 1000.0
+
+
+def main() -> None:
+    golden = Path(__file__).parent
+
+    scripts = {}
+    for cid, case in CASES.items():
+        old = compile_source(case.old_source)
+        entry = {}
+        for ra, da in (("gcc", "gcc"), ("ucc", "ucc")):
+            result = plan_update(old, case.new_source, ra=ra, da=da)
+            entry[f"{ra}/{da}"] = {
+                "diff_inst": result.diff_inst,
+                "script_bytes": result.script_bytes,
+                "packets": result.packets.packet_count,
+            }
+        scripts[cid] = entry
+
+    energy = {}
+    for cid in ENERGY_CASES:
+        case = CASES[cid]
+        old = compile_source(case.old_source)
+        gcc = measure_cycles(
+            plan_update(old, case.new_source, ra="gcc", da="ucc")
+        )
+        ucc = measure_cycles(
+            plan_update(old, case.new_source, ra="ucc", da="ucc")
+        )
+        ratio = ucc.diff_energy(ENERGY_CNT, DEFAULT_ENERGY_MODEL) / gcc.diff_energy(
+            ENERGY_CNT, DEFAULT_ENERGY_MODEL
+        )
+        energy[cid] = {"cnt": ENERGY_CNT, "ratio_ucc_over_gcc": round(ratio, 6)}
+
+    (golden / "fig09_scripts.json").write_text(
+        json.dumps(scripts, indent=2, sort_keys=True) + "\n"
+    )
+    (golden / "fig12_energy.json").write_text(
+        json.dumps(energy, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {golden / 'fig09_scripts.json'}")
+    print(f"wrote {golden / 'fig12_energy.json'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,189 @@
+"""Property-based tests for the diff layer: packetisation,
+edit-script wire format, data scripts, and the sensor-side patcher.
+
+These are the same invariants the fuzz oracles (:mod:`repro.fuzz.oracles`)
+check end-to-end on whole update pairs, exercised here directly on
+adversarial inputs hypothesis constructs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compile_source, plan_update
+from repro.diff.data_diff import DataScript, apply_data, diff_data
+from repro.diff.edit_script import MAX_RUN, EditScript, PrimOp, Primitive
+from repro.diff.packets import Packetisation
+from repro.diff.patcher import patched_words, verify_patch
+from repro.workloads import CASES
+
+# ---------------------------------------------------------------------------
+# Packetisation
+# ---------------------------------------------------------------------------
+
+
+class TestPacketisationProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        script_bytes=st.integers(0, 5000),
+        payload=st.integers(1, 64),
+        overhead=st.integers(0, 32),
+    )
+    def test_packet_count_is_exact_ceiling(self, script_bytes, payload, overhead):
+        packets = Packetisation(script_bytes, payload, overhead)
+        count = packets.packet_count
+        # every byte is carried, and dropping one packet would lose bytes
+        assert count * payload >= script_bytes
+        if script_bytes:
+            assert (count - 1) * payload < script_bytes
+        else:
+            assert count == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        script_bytes=st.integers(0, 5000),
+        payload=st.integers(1, 64),
+        overhead=st.integers(0, 32),
+    )
+    def test_air_bytes_account_for_overhead(self, script_bytes, payload, overhead):
+        packets = Packetisation(script_bytes, payload, overhead)
+        assert packets.bytes_on_air == script_bytes + packets.packet_count * overhead
+        assert packets.bits_on_air == 8 * packets.bytes_on_air
+        assert packets.bytes_on_air >= script_bytes
+
+    @settings(max_examples=100, deadline=None)
+    @given(script_bytes=st.integers(1, 5000), payload=st.integers(1, 64))
+    def test_smaller_payload_never_needs_fewer_packets(self, script_bytes, payload):
+        wide = Packetisation(script_bytes, payload + 1, 0)
+        narrow = Packetisation(script_bytes, payload, 0)
+        assert narrow.packet_count >= wide.packet_count
+
+
+# ---------------------------------------------------------------------------
+# Edit-script wire format
+# ---------------------------------------------------------------------------
+
+# Synthetic instruction encoding for serialisation tests: the first
+# word of each unit carries the unit's word count in its high byte, so
+# a word_sizer can recover the grouping without a real opcode table.
+_group = st.integers(1, 3).flatmap(
+    lambda size: st.tuples(
+        st.integers(0, 255).map(lambda low: (size << 8) | low),
+        *[st.integers(0, 0xFFFF) for _ in range(size - 1)],
+    )
+)
+
+
+def _sizer(word: int) -> int:
+    return word >> 8
+
+
+_primitive = st.one_of(
+    st.builds(
+        Primitive,
+        op=st.sampled_from([PrimOp.COPY, PrimOp.REMOVE]),
+        count=st.integers(1, MAX_RUN),
+    ),
+    st.lists(_group, min_size=1, max_size=5).map(
+        lambda groups: Primitive(
+            op=PrimOp.INSERT, count=len(groups), words=tuple(groups)
+        )
+    ),
+    st.lists(_group, min_size=1, max_size=5).map(
+        lambda groups: Primitive(
+            op=PrimOp.REPLACE, count=len(groups), words=tuple(groups)
+        )
+    ),
+)
+
+
+class TestEditScriptWireProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_primitive, max_size=12))
+    def test_serialise_parse_round_trip(self, primitives):
+        script = EditScript(primitives=primitives)
+        blob = script.to_bytes()
+        assert len(blob) == script.size_bytes
+        reparsed = EditScript.from_bytes(blob, word_sizer=_sizer)
+        assert reparsed.primitives == script.primitives
+        assert reparsed.to_bytes() == blob
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_primitive, max_size=12))
+    def test_metrics_survive_round_trip(self, primitives):
+        script = EditScript(primitives=primitives)
+        reparsed = EditScript.from_bytes(script.to_bytes(), word_sizer=_sizer)
+        assert reparsed.size_bytes == script.size_bytes
+        assert reparsed.payload_words == script.payload_words
+        assert reparsed.transmitted_instructions == script.transmitted_instructions
+        assert reparsed.primitive_counts() == script.primitive_counts()
+
+    @settings(max_examples=100, deadline=None)
+    @given(count=st.integers(1, 5 * MAX_RUN))
+    def test_long_runs_split_into_legal_primitives(self, count):
+        script = EditScript()
+        script.copy(count)
+        assert all(1 <= p.count <= MAX_RUN for p in script.primitives)
+        assert sum(p.count for p in script.primitives) == count
+
+
+# ---------------------------------------------------------------------------
+# Data scripts
+# ---------------------------------------------------------------------------
+
+_blob = st.binary(max_size=300)
+
+
+class TestDataScriptProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(old=_blob, new=_blob)
+    def test_diff_apply_round_trip(self, old, new):
+        script = diff_data(old, new)
+        assert apply_data(old, script) == new
+
+    @settings(max_examples=300, deadline=None)
+    @given(old=_blob, new=_blob)
+    def test_apply_is_replayable(self, old, new):
+        # The sink may receive the same script twice (lost ack); both
+        # applications from the same base must agree byte-for-byte.
+        script = diff_data(old, new)
+        assert apply_data(old, script) == apply_data(old, script)
+
+    @settings(max_examples=300, deadline=None)
+    @given(old=_blob, new=_blob)
+    def test_wire_round_trip_preserves_effect(self, old, new):
+        script = diff_data(old, new)
+        blob = script.to_bytes()
+        assert len(blob) == script.size_bytes
+        reparsed = DataScript.from_bytes(blob)
+        assert apply_data(old, reparsed) == new
+        assert reparsed.to_bytes() == blob
+
+    @settings(max_examples=200, deadline=None)
+    @given(old=_blob)
+    def test_identity_diff_is_empty(self, old):
+        script = diff_data(old, old)
+        assert script.is_empty
+        assert script.size_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# Sensor-side patcher on real compiled pairs
+# ---------------------------------------------------------------------------
+
+
+class TestPatcherProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cid=st.sampled_from(sorted(CASES)),
+        strategy=st.sampled_from([("gcc", "gcc"), ("ucc", "ucc"), ("ucc", "gcc")]),
+    )
+    def test_apply_rebuilds_and_replays(self, cid, strategy):
+        ra, da = strategy
+        case = CASES[cid]
+        old = compile_source(case.old_source)
+        result = plan_update(old, case.new_source, ra=ra, da=da)
+        verify_patch(old.image, result.new.image, result.diff.script)
+        first = patched_words(old.image, result.diff.script)
+        assert first == result.new.image.words()
+        # replay: the patcher is pure — a second application from the
+        # same resident image yields the identical stream
+        assert patched_words(old.image, result.diff.script) == first

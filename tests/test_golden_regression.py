@@ -1,0 +1,68 @@
+"""Golden regression tests: pin the paper-facing numbers.
+
+The JSON files under ``tests/golden/`` record, for every Figure 9
+update case, the script sizes the planner ships under both strategies,
+and — for the Figure 12 sweep cases — the UCC/GCC update-energy ratio
+at a fixed execution count.  Script sizes are pinned exactly (they are
+fully deterministic); energy ratios get a small relative tolerance so
+benign energy-model recalibrations don't churn the goldens.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import measure_cycles, plan_update
+from repro.energy import DEFAULT_ENERGY_MODEL
+from repro.workloads import CASES
+
+GOLDEN = Path(__file__).parent / "golden"
+SCRIPTS = json.loads((GOLDEN / "fig09_scripts.json").read_text())
+ENERGY = json.loads((GOLDEN / "fig12_energy.json").read_text())
+
+ENERGY_RTOL = 0.02
+
+
+def test_goldens_cover_every_case():
+    assert set(SCRIPTS) == set(CASES)
+
+
+@pytest.mark.parametrize("cid", sorted(SCRIPTS))
+@pytest.mark.parametrize("strategy", ["gcc/gcc", "ucc/ucc"])
+def test_fig09_script_sizes_pinned(cid, strategy, compiled_case_olds):
+    ra, da = strategy.split("/")
+    case = CASES[cid]
+    result = plan_update(compiled_case_olds[cid], case.new_source, ra=ra, da=da)
+    expected = SCRIPTS[cid][strategy]
+    got = {
+        "diff_inst": result.diff_inst,
+        "script_bytes": result.script_bytes,
+        "packets": result.packets.packet_count,
+    }
+    assert got == expected, (
+        f"case {cid} {strategy}: planner now ships {got}, golden says "
+        f"{expected} — regenerate tests/golden/ if this is intentional"
+    )
+
+
+@pytest.mark.parametrize("cid", sorted(ENERGY, key=lambda c: int(c)))
+def test_fig12_energy_ratio_pinned(cid, compiled_case_olds):
+    case = CASES[cid]
+    old = compiled_case_olds[cid]
+    cnt = ENERGY[cid]["cnt"]
+    gcc = measure_cycles(plan_update(old, case.new_source, ra="gcc", da="ucc"))
+    ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+    ratio = ucc.diff_energy(cnt, DEFAULT_ENERGY_MODEL) / gcc.diff_energy(
+        cnt, DEFAULT_ENERGY_MODEL
+    )
+    assert ratio == pytest.approx(
+        ENERGY[cid]["ratio_ucc_over_gcc"], rel=ENERGY_RTOL
+    )
+    # UCC never costs more energy than the GCC baseline on the sweep
+    # cases at this Cnt (Figure 12's non-negative savings).
+    assert ratio <= 1.0 + 1e-9

@@ -1,0 +1,107 @@
+"""``repro verify`` must exit non-zero for a fault in *each* analysis
+pass, and zero on a clean plan.
+
+Each test monkeypatches :func:`repro.cli.plan_update` to corrupt one
+compilation product the way the corresponding verifier pass watches
+for (the same corruptions :mod:`tests.test_analysis` applies to the
+library API), then drives the real CLI entry point end-to-end.
+"""
+
+import pytest
+
+from repro import cli
+from repro.core import plan_update as real_plan_update
+
+CASE = "3"  # same richly-featured case the analysis corruption tests use
+
+
+def _corrupt_allocation(result):
+    placement = next(
+        p
+        for record in result.new.records.values()
+        for p in record.placements.values()
+        if p.pieces
+    )
+    placement.pieces[0].base = 0  # r0 is reserved for scratch
+
+
+def _corrupt_layout(result):
+    layout = result.new.layout
+    uids = sorted(layout.addresses)
+    assert len(uids) >= 2
+    layout.addresses[uids[1]] = layout.addresses[uids[0]]
+
+
+def _corrupt_patch(result):
+    assert result.diff.script.primitives
+    result.diff.script.primitives.pop()
+
+
+def _corrupt_energy(result):
+    result.diff.diff_words += 3
+
+
+def _corrupt_addressing(result):
+    layout = result.new.layout
+    uid = max(layout.addresses, key=lambda u: layout.addresses[u])
+    layout.addresses[uid] = layout.addresses[uid] + 2
+
+
+CORRUPTIONS = [
+    ("allocation", _corrupt_allocation, {"allocation"}),
+    ("layout", _corrupt_layout, {"layout"}),
+    ("patch", _corrupt_patch, {"patch"}),
+    ("energy", _corrupt_energy, {"energy"}),
+    # a silently relocated object trips the stale lds/sts addresses or
+    # the overlap it creates, whichever the passes see first
+    ("addressing", _corrupt_addressing, {"addressing", "layout"}),
+]
+
+
+def _install_corruptor(monkeypatch, corrupt):
+    def corrupted_plan(old, new_source, **kwargs):
+        result = real_plan_update(old, new_source, **kwargs)
+        corrupt(result)
+        return result
+
+    monkeypatch.setattr(cli, "plan_update", corrupted_plan)
+
+
+class TestVerifyCliCorruption:
+    @pytest.mark.parametrize(
+        "pass_name,corrupt,expected", CORRUPTIONS, ids=[c[0] for c in CORRUPTIONS]
+    )
+    def test_injected_fault_fails_verify(
+        self, pass_name, corrupt, expected, monkeypatch, capsys
+    ):
+        _install_corruptor(monkeypatch, corrupt)
+        rc = cli.main(["verify", "--case", CASE])
+        out = capsys.readouterr().out
+        assert rc == 1, f"{pass_name} corruption not detected:\n{out}"
+        assert any(name in out for name in expected), out
+
+    def test_clean_plan_verifies(self, capsys):
+        rc = cli.main(["verify", "--case", CASE])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+
+    def test_clean_files_verify(self, tmp_path, capsys):
+        from repro.workloads import CASES
+
+        case = CASES[CASE]
+        old = tmp_path / "old.c"
+        new = tmp_path / "new.c"
+        old.write_text(case.old_source)
+        new.write_text(case.new_source)
+        assert cli.main(["verify", str(old), str(new)]) == 0
+
+    def test_corrupt_plan_fails_for_files_too(self, tmp_path, monkeypatch, capsys):
+        from repro.workloads import CASES
+
+        _install_corruptor(monkeypatch, _corrupt_patch)
+        case = CASES[CASE]
+        old = tmp_path / "old.c"
+        new = tmp_path / "new.c"
+        old.write_text(case.old_source)
+        new.write_text(case.new_source)
+        assert cli.main(["verify", str(old), str(new)]) == 1
