@@ -28,6 +28,14 @@ Commands
     (:mod:`repro.fuzz`): random programs, semantic edits, differential
     oracles; shrunk failing reproducers land in the corpus directory
     and the exit status is non-zero when any oracle failed.
+
+``profile OLD NEW`` / ``profile --case ID``
+    Run one traced end-to-end update (compile, plan, disseminate,
+    simulate) and print a per-phase wall-time/energy breakdown plus the
+    run's metric deltas (:mod:`repro.obs`); ``--trace FILE`` dumps a
+    chrome://tracing-loadable JSON, ``--jsonl FILE`` the raw span
+    events.  The span and metric vocabulary is documented in
+    ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -179,6 +187,46 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_profile(args) -> int:
+    # Lazy: repro.obs.profile imports the whole pipeline.
+    from .obs.profile import profile_update
+
+    if args.case:
+        case = CASES.get(args.case)
+        if case is None:
+            print(f"unknown case {args.case!r}; available: {', '.join(CASES)}",
+                  file=sys.stderr)
+            return 2
+        old_source, new_source = case.old_source, case.new_source
+        label = f"case {case.case_id}"
+    elif args.old and args.new:
+        old_source, new_source = _read(args.old), _read(args.new)
+        label = f"{args.old} -> {args.new}"
+    else:
+        print("profile needs OLD NEW files or --case ID", file=sys.stderr)
+        return 2
+
+    report = profile_update(
+        old_source,
+        new_source,
+        ra=args.ra,
+        da=args.da,
+        grid_side=args.grid,
+        loss=args.loss,
+        simulate=not args.no_sim,
+        label=label,
+    )
+    print(report.render())
+    if args.trace:
+        report.write_chrome_trace(args.trace)
+        print(f"\nwrote Chrome trace to {args.trace} "
+              "(load via chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        report.write_jsonl(args.jsonl)
+        print(f"wrote span events to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -253,6 +301,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip delta-debugging of failing cases")
     p_fuzz.add_argument("--quiet", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_profile = sub.add_parser(
+        "profile", help="trace one end-to-end update and print a "
+                        "per-phase time/energy breakdown"
+    )
+    p_profile.add_argument("old", nargs="?")
+    p_profile.add_argument("new", nargs="?")
+    p_profile.add_argument("--case", help="profile a paper case instead of files")
+    p_profile.add_argument("--ra", default="ucc",
+                           choices=["ucc", "ucc-ilp", "gcc", "linear"])
+    p_profile.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
+    p_profile.add_argument("--grid", type=int, default=4,
+                           help="dissemination grid side (NxN nodes)")
+    p_profile.add_argument("--loss", type=float, default=0.0,
+                           help="per-link loss probability (lossy flood)")
+    p_profile.add_argument("--no-sim", action="store_true",
+                           help="skip the Diff_cycle simulation runs")
+    p_profile.add_argument("--trace", metavar="FILE",
+                           help="write chrome://tracing JSON here")
+    p_profile.add_argument("--jsonl", metavar="FILE",
+                           help="write raw span events (JSONL) here")
+    p_profile.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -20,6 +20,7 @@ from ..isa.assembler import BinaryImage, assemble
 from ..isa.instructions import MachineInstr
 from ..lang import frontend
 from ..lang.sema import CheckedProgram
+from ..obs import trace
 from ..opt.passes import optimize_module
 from ..codegen.placement import (
     PlacementPlan,
@@ -102,34 +103,39 @@ class Compiler:
 
     def front_and_middle(self, source: str, filename: str = "<source>") -> IRModule:
         """Front end + optimization: source → optimized IR (paper's IR')."""
-        checked = frontend(source, filename)
-        module = build_ir(checked)
-        for name, depth in self.options.depths.items():
-            if name in module.functions:
-                module.functions[name].depth = depth
-        if self.options.optimize:
-            optimize_module(module)
-        return module
+        with trace.span("compile.front_middle", filename=filename):
+            checked = frontend(source, filename)
+            module = build_ir(checked)
+            for name, depth in self.options.depths.items():
+                if name in module.functions:
+                    module.functions[name].depth = depth
+            if self.options.optimize:
+                optimize_module(module)
+            return module
 
     def allocate_registers(self, module: IRModule) -> dict[str, AllocationRecord]:
-        allocator = RA_BASELINES[self.options.register_allocator]
-        records = {}
-        for name, fn in module.functions.items():
-            record = allocator(fn)
-            if self.options.verify:
-                verify_allocation(record, analyze(fn))
-            records[name] = record
-        return records
+        with trace.span(
+            "compile.regalloc", allocator=self.options.register_allocator
+        ):
+            allocator = RA_BASELINES[self.options.register_allocator]
+            records = {}
+            for name, fn in module.functions.items():
+                record = allocator(fn)
+                if self.options.verify:
+                    verify_allocation(record, analyze(fn))
+                records[name] = record
+            return records
 
     def lay_out_data(
         self, module: IRModule, records: dict[str, AllocationRecord]
     ) -> DataLayout:
-        objects = collect_layout_objects(
-            module,
-            spill_orders={name: rec.spill_order for name, rec in records.items()},
-            depths=self.options.depths,
-        )
-        return allocate_gcc_da(objects)
+        with trace.span("compile.datalayout", allocator="gcc"):
+            objects = collect_layout_objects(
+                module,
+                spill_orders={name: rec.spill_order for name, rec in records.items()},
+                depths=self.options.depths,
+            )
+            return allocate_gcc_da(objects)
 
     def back_end(
         self,
@@ -146,6 +152,25 @@ class Compiler:
         surviving functions at their old flash addresses so call sites
         do not re-encode; ``"baseline"`` packs in definition order.
         """
+        with trace.span("compile.backend", placement=placement_strategy):
+            return self._back_end(
+                module,
+                records,
+                layout,
+                old_placement,
+                placement_strategy,
+                old_slot_words,
+            )
+
+    def _back_end(
+        self,
+        module: IRModule,
+        records: dict[str, AllocationRecord],
+        layout: DataLayout,
+        old_placement: PlacementPlan | None,
+        placement_strategy: str,
+        old_slot_words: dict[str, tuple[int, ...]] | None,
+    ) -> tuple[list[MachineInstr], BinaryImage, PlacementPlan]:
         function_code = {
             name: select_function(fn, records[name], layout, module)
             for name, fn in module.functions.items()
@@ -175,6 +200,10 @@ class Compiler:
 
     def compile(self, source: str, filename: str = "<source>") -> CompiledProgram:
         """Run the whole pipeline."""
+        with trace.span("compile.full", filename=filename):
+            return self._compile(source, filename)
+
+    def _compile(self, source: str, filename: str) -> CompiledProgram:
         module = self.front_and_middle(source, filename)
         records = self.allocate_registers(module)
         layout = self.lay_out_data(module, records)

@@ -21,6 +21,7 @@ from ..energy.power_model import MICA2, PowerModel
 from ..net.dissemination import DisseminationResult, disseminate
 from ..net.lossy import disseminate_lossy
 from ..net.topology import Topology, grid
+from ..obs import trace
 from .compiler import CompiledProgram
 from .update import UpdatePlanner, UpdateResult
 
@@ -76,6 +77,10 @@ class UpdateSession:
         program advances to the new version, so successive calls model a
         long-lived maintenance campaign.
         """
+        with trace.span("session.push_update", ra=ra, da=da, loss=self.loss):
+            return self._push_update(new_source, ra, da)
+
+    def _push_update(self, new_source: str, ra: str, da: str) -> SessionResult:
         planner = UpdatePlanner(self.deployed, **self.planner_kwargs)
         update = planner.plan(new_source, ra=ra, da=da)
 

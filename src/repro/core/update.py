@@ -29,6 +29,7 @@ from ..diff.packets import Packetisation, packetize
 from ..diff.patcher import verify_patch
 from ..energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..ir.liveness import analyze
+from ..obs import metrics, trace
 from ..regalloc.base import verify_allocation
 from ..regalloc.chunks import DEFAULT_K
 from ..regalloc.ucc_ra import UCCReport, allocate_ucc_greedy
@@ -152,6 +153,18 @@ class UpdatePlanner:
         :class:`~repro.analysis.VerificationError` on any finding;
         ``None`` inherits the old program's ``options.checked``.
         """
+        with trace.span("update.plan", ra=ra, da=da):
+            return self._plan(new_source, ra, da, cp, verify, checked)
+
+    def _plan(
+        self,
+        new_source: str,
+        ra: str,
+        da: str,
+        cp: str | None,
+        verify: bool,
+        checked: bool | None,
+    ) -> UpdateResult:
         if cp is None:
             cp = "auto" if ra in ("ucc", "ucc-ilp") else "gcc"
         old = self.old
@@ -174,53 +187,55 @@ class UpdatePlanner:
         baseline = RA_BASELINES[
             ra if ra in RA_BASELINES else options.register_allocator
         ]
-        for name, fn in module.functions.items():
-            updatable = name in old.module.functions and name in old.records
-            if ra == "ucc" and updatable:
-                old_profile = (
-                    self.profile.ir_frequencies(name) if self.profile else None
-                )
-                record, report = allocate_ucc_greedy(
-                    fn,
-                    old.module.functions[name],
-                    old.records[name],
-                    energy=self.energy,
-                    k=self.k,
-                    expected_runs=self.expected_runs,
-                    old_profile=old_profile,
-                )
-                ra_reports[name] = report
-            elif ra == "ucc-ilp" and updatable:
-                from ..regalloc.ilp_ra import allocate_ucc_ilp
+        with trace.span("update.regalloc", ra=ra):
+            for name, fn in module.functions.items():
+                updatable = name in old.module.functions and name in old.records
+                if ra == "ucc" and updatable:
+                    old_profile = (
+                        self.profile.ir_frequencies(name) if self.profile else None
+                    )
+                    record, report = allocate_ucc_greedy(
+                        fn,
+                        old.module.functions[name],
+                        old.records[name],
+                        energy=self.energy,
+                        k=self.k,
+                        expected_runs=self.expected_runs,
+                        old_profile=old_profile,
+                    )
+                    ra_reports[name] = report
+                elif ra == "ucc-ilp" and updatable:
+                    from ..regalloc.ilp_ra import allocate_ucc_ilp
 
-                record, ilp_report = allocate_ucc_ilp(
-                    fn,
-                    old.module.functions[name],
-                    old.records[name],
-                    energy=self.energy,
-                    k=self.k,
-                    expected_runs=self.expected_runs,
-                )
-                ra_reports[name] = ilp_report.greedy
-            else:
-                record = baseline(fn)
-            if options.verify:
-                verify_allocation(record, analyze(fn))
-            records[name] = record
+                    record, ilp_report = allocate_ucc_ilp(
+                        fn,
+                        old.module.functions[name],
+                        old.records[name],
+                        energy=self.energy,
+                        k=self.k,
+                        expected_runs=self.expected_runs,
+                    )
+                    ra_reports[name] = ilp_report.greedy
+                else:
+                    record = baseline(fn)
+                if options.verify:
+                    verify_allocation(record, analyze(fn))
+                records[name] = record
 
         # -- data layout ------------------------------------------------------
-        objects = collect_layout_objects(
-            module,
-            spill_orders={n: r.spill_order for n, r in records.items()},
-            depths=options.depths,
-        )
-        da_report = None
-        if da == "ucc":
-            layout, da_report = allocate_ucc_da(
-                objects, old.layout, self.space_threshold
+        with trace.span("update.datalayout", da=da):
+            objects = collect_layout_objects(
+                module,
+                spill_orders={n: r.spill_order for n, r in records.items()},
+                depths=options.depths,
             )
-        else:
-            layout = allocate_gcc_da(objects)
+            da_report = None
+            if da == "ucc":
+                layout, da_report = allocate_ucc_da(
+                    objects, old.layout, self.space_threshold
+                )
+            else:
+                layout = allocate_gcc_da(objects)
 
         # -- back end + diff -----------------------------------------------------
         old_slot_words = {
@@ -262,9 +277,10 @@ class UpdatePlanner:
         )
         data_script = diff_data(old.image.data, image.data)
         if verify:
-            verify_patch(old.image, image, diff.script)
-            if apply_data(old.image.data, data_script) != image.data:
-                raise AssertionError("data-segment patch does not round-trip")
+            with trace.span("update.verify"):
+                verify_patch(old.image, image, diff.script)
+                if apply_data(old.image.data, data_script) != image.data:
+                    raise AssertionError("data-segment patch does not round-trip")
         packets = packetize(diff.script)
         packets = Packetisation(
             script_bytes=diff.script.size_bytes + data_script.size_bytes,
@@ -282,6 +298,9 @@ class UpdatePlanner:
             ra_reports=ra_reports,
             da_report=da_report,
         )
+        metrics.counter("update.plans").inc()
+        metrics.histogram("update.script_bytes").observe(result.script_bytes)
+        metrics.histogram("update.packets").observe(packets.packet_count)
         if checked:
             # Lazy import (see Compiler.compile).
             from ..analysis import verify_update

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from difflib import SequenceMatcher
 
 from ..isa.assembler import BinaryImage
+from ..obs import metrics, trace
 from .edit_script import EditScript
 
 
@@ -54,6 +55,16 @@ class BinaryDiff:
 
 def diff_images(old: BinaryImage, new: BinaryImage) -> BinaryDiff:
     """Diff two assembled binaries at instruction granularity."""
+    with trace.span("diff.images"):
+        diff = _diff_images(old, new)
+    metrics.counter("diff.runs").inc()
+    metrics.counter("diff.reused_instructions").inc(diff.reused)
+    metrics.histogram("diff.script_bytes").observe(diff.script_bytes)
+    metrics.histogram("diff.diff_inst").observe(diff.diff_inst)
+    return diff
+
+
+def _diff_images(old: BinaryImage, new: BinaryImage) -> BinaryDiff:
     old_units = [tuple(enc.words) for enc in old.code]
     new_units = [tuple(enc.words) for enc in new.code]
 

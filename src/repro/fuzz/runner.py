@@ -19,6 +19,8 @@ import hashlib
 import random
 from dataclasses import dataclass, field
 
+from ..obs import metrics, trace
+from ..obs.metrics import REGISTRY
 from .mutator import apply_edits, mutate
 from .oracles import check_pair
 from .progen import GenConfig, generate_program
@@ -52,6 +54,9 @@ class FuzzReport:
     script_bytes_total: int = 0
     diff_inst_total: int = 0
     digest: str = ""
+    #: per-campaign ``fuzz.*`` metric deltas from :mod:`repro.obs`;
+    #: excluded from the digest so telemetry cannot change replay identity
+    metrics: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -71,6 +76,14 @@ class FuzzReport:
                 for kind, count in sorted(self.edit_counts.items())
             )
             lines.append(f"edits   : {parts}")
+        if self.metrics:
+            parts = ", ".join(
+                f"{name.split('fuzz.', 1)[-1]}:{value:g}"
+                for name, value in sorted(self.metrics.items())
+                if value
+            )
+            if parts:
+                lines.append(f"metrics : {parts}")
         for finding in self.findings:
             lines.append("FAIL " + finding.render())
         return "\n".join(lines)
@@ -96,24 +109,30 @@ def run_fuzz(
     """Run one deterministic fuzz campaign."""
     report = FuzzReport(seed=seed, iterations=iters)
     hasher = hashlib.sha256()
+    before = REGISTRY.values("fuzz.")
     for iteration in range(iters):
-        rng = _iteration_rng(seed, iteration)
-        program = generate_program(rng, config)
-        n_edits = rng.randrange(1, max_edits + 1)
-        mutated, edits = mutate(program, rng, n_edits)
-        for edit in edits:
-            report.edit_counts[edit.kind] = (
-                report.edit_counts.get(edit.kind, 0) + 1
-            )
-        old_source = program.render()
-        new_source = mutated.render()
-        verdict = check_pair(old_source, new_source, ra=ra, da=da)
+        with trace.span("fuzz.iteration", iteration=iteration) as span:
+            rng = _iteration_rng(seed, iteration)
+            program = generate_program(rng, config)
+            n_edits = rng.randrange(1, max_edits + 1)
+            mutated, edits = mutate(program, rng, n_edits)
+            for edit in edits:
+                report.edit_counts[edit.kind] = (
+                    report.edit_counts.get(edit.kind, 0) + 1
+                )
+            old_source = program.render()
+            new_source = mutated.render()
+            verdict = check_pair(old_source, new_source, ra=ra, da=da)
+            span.set(ok=verdict.ok)
+        metrics.counter("fuzz.iterations").inc()
+        _publish_verdict(verdict)
         report.script_bytes_total += verdict.script_bytes
         report.diff_inst_total += verdict.diff_inst
         hasher.update(old_source.encode())
         hasher.update(new_source.encode())
         hasher.update(verdict.summary().encode())
         if not verdict.ok:
+            metrics.counter("fuzz.findings").inc()
             finding = _handle_failure(
                 iteration,
                 program,
@@ -129,7 +148,26 @@ def run_fuzz(
         if on_progress is not None:
             on_progress(iteration, verdict)
     report.digest = hasher.hexdigest()
+    report.metrics = REGISTRY.delta(before, "fuzz.")
     return report
+
+
+def _publish_verdict(verdict) -> None:
+    """Count each oracle violation under its own literal metric name
+    (literal so ``tools/check_docs.py`` can see them)."""
+    for failure in verdict.failures:
+        if failure.oracle == "plan":
+            metrics.counter("fuzz.oracle_failures.plan").inc()
+        elif failure.oracle == "patch":
+            metrics.counter("fuzz.oracle_failures.patch").inc()
+        elif failure.oracle == "wire":
+            metrics.counter("fuzz.oracle_failures.wire").inc()
+        elif failure.oracle == "trace":
+            metrics.counter("fuzz.oracle_failures.trace").inc()
+        elif failure.oracle == "analysis":
+            metrics.counter("fuzz.oracle_failures.analysis").inc()
+        else:
+            metrics.counter("fuzz.oracle_failures.other").inc()
 
 
 def _handle_failure(

@@ -1,7 +1,14 @@
-"""Solver facade: pick a backend, solve, return values + statistics."""
+"""Solver facade: pick a backend, solve, return values + statistics.
+
+Every solve is traced (``ilp.solve`` span) and publishes its effort
+into the :mod:`repro.obs` metrics registry — iterations, LP solves,
+branch-and-bound nodes — which is what ``repro profile`` and the
+Figure 14/15 benches read back out.
+"""
 
 from __future__ import annotations
 
+from ..obs import metrics, trace
 from .branch_bound import SolveResult, solve_branch_bound
 from .model import IntegerProgram
 from .scipy_backend import solve_scipy
@@ -23,8 +30,27 @@ def solve(
     ``incumbent`` warm-starts the own backend (e.g. with the
     preferred-register greedy allocation).
     """
-    if backend == "own":
-        return solve_branch_bound(problem, incumbent=incumbent, node_limit=node_limit)
-    if backend == "scipy":
-        return solve_scipy(problem)
-    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    with trace.span(
+        "ilp.solve",
+        backend=backend,
+        variables=problem.num_variables,
+        constraints=problem.num_constraints,
+    ) as span:
+        if backend == "own":
+            result = solve_branch_bound(
+                problem, incumbent=incumbent, node_limit=node_limit
+            )
+        else:
+            result = solve_scipy(problem)
+        span.set(status=result.status)
+    metrics.counter("ilp.solves").inc()
+    metrics.counter("ilp.simplex_iterations").inc(result.stats.simplex_iterations)
+    metrics.counter("ilp.lp_solves").inc(result.stats.lp_solves)
+    metrics.counter("ilp.bb_nodes").inc(result.stats.nodes)
+    if result.status == "node_limit":
+        metrics.counter("ilp.node_limit_hits").inc()
+    if result.status == "infeasible":
+        metrics.counter("ilp.infeasible").inc()
+    return result

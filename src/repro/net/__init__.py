@@ -1,4 +1,34 @@
-"""WSN dissemination: topologies, flooding, energy ledgers."""
+"""WSN dissemination: topologies, flooding, energy ledgers.
+
+Models the network half of the paper's setting (§1, §2.1): a sink
+distributes the packetised edit script hop-by-hop to every sensor,
+and each radioed bit costs roughly 1000x the energy of executing an
+instruction — the asymmetry that makes script size the quantity UCC
+optimises.
+
+Hop model
+    A :class:`~repro.net.topology.Topology` (grid / line / random
+    geometric) fixes who hears whom.  :func:`disseminate` floods the
+    script: every node rebroadcasts each packet once, every radio
+    neighbour receives it, and the round count equals the hop eccentricity
+    of the sink.  :func:`~repro.net.lossy.disseminate_lossy` adds
+    per-link Bernoulli loss with NACK-driven retransmission rounds
+    (XNP/Deluge/MNP-style, the paper's refs [11], [17]), which
+    multiplies the radio bill as loss grows.
+
+Energy model
+    Per-node :class:`~repro.net.dissemination.NodeLedger`\\ s price
+    every transmitted and received bit with the Mica2 power model of
+    paper Figure 3 (:data:`repro.energy.power_model.MICA2`), plus CPU
+    energy for script interpretation and patching
+    (:data:`~repro.net.dissemination.PATCH_CYCLES_PER_BYTE`).
+    :class:`~repro.net.dissemination.ReportModel` reproduces §2.1's
+    data-report example: a report travelling ``h`` hops runs the
+    processing code once but the transmission code ``h`` times.
+
+Dissemination publishes ``net.*`` metrics and ``net.disseminate[_lossy]``
+spans into :mod:`repro.obs` — see docs/OBSERVABILITY.md.
+"""
 
 from .dissemination import (
     DisseminationResult,

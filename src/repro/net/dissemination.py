@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from ..diff.packets import Packetisation
 from ..energy.power_model import MICA2, PowerModel
+from ..obs import metrics, trace
 from .topology import Topology
 
 
@@ -81,30 +82,39 @@ def disseminate(
     sense that callers can ignore ledger[0] (sinks are mains-powered in
     the paper's setting, but the ledger is still recorded).
     """
-    packet_bits = 8 * (
-        packets.payload_per_packet + packets.overhead_per_packet
-    )
-    count = packets.packet_count
-    ledgers = {node: NodeLedger() for node in range(topology.node_count)}
-    hops = topology.hops_from_sink()
+    with trace.span(
+        "net.disseminate",
+        nodes=topology.node_count,
+        packets=packets.packet_count,
+    ):
+        packet_bits = 8 * (
+            packets.payload_per_packet + packets.overhead_per_packet
+        )
+        count = packets.packet_count
+        ledgers = {node: NodeLedger() for node in range(topology.node_count)}
+        hops = topology.hops_from_sink()
 
-    # Each node broadcasts each packet once; each neighbour receives it.
-    for node in range(topology.node_count):
-        ledger = ledgers[node]
-        ledger.tx_j += count * packet_bits * power.tx_bit_energy_j
-        ledger.packets_sent += count
-        for peer in topology.neighbors.get(node, ()):
-            peer_ledger = ledgers[peer]
-            peer_ledger.rx_j += count * packet_bits * power.rx_bit_energy_j
-            peer_ledger.packets_received += count
+        # Each node broadcasts each packet once; each neighbour receives it.
+        for node in range(topology.node_count):
+            ledger = ledgers[node]
+            ledger.tx_j += count * packet_bits * power.tx_bit_energy_j
+            ledger.packets_sent += count
+            for peer in topology.neighbors.get(node, ()):
+                peer_ledger = ledgers[peer]
+                peer_ledger.rx_j += count * packet_bits * power.rx_bit_energy_j
+                peer_ledger.packets_received += count
 
-    # Script interpretation + patching cost on every non-sink node.
-    patch_cycles = patch_cycles_per_byte * packets.script_bytes
-    for node in range(1, topology.node_count):
-        ledgers[node].cpu_j += patch_cycles * power.cycle_energy_j
+        # Script interpretation + patching cost on every non-sink node.
+        patch_cycles = patch_cycles_per_byte * packets.script_bytes
+        for node in range(1, topology.node_count):
+            ledgers[node].cpu_j += patch_cycles * power.cycle_energy_j
 
-    rounds = max(hops.values()) if hops else 0
-    return DisseminationResult(ledgers=ledgers, packets=count, rounds=rounds)
+        rounds = max(hops.values()) if hops else 0
+        result = DisseminationResult(ledgers=ledgers, packets=count, rounds=rounds)
+    metrics.counter("net.flood.runs").inc()
+    metrics.counter("net.flood.broadcasts").inc(count * topology.node_count)
+    metrics.counter("net.energy_j").inc(result.total_energy_j)
+    return result
 
 
 @dataclass

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from ..diff.packets import Packetisation
 from ..energy.power_model import MICA2, PowerModel
+from ..obs import metrics, trace
 from .dissemination import NodeLedger
 from .topology import Topology
 
@@ -37,6 +38,8 @@ class LossyResult:
     broadcasts: int
     nacks: int
     complete: bool
+    #: receptions killed by the loss model (the cause of every repair)
+    drops: int = 0
 
     @property
     def total_energy_j(self) -> float:
@@ -67,6 +70,34 @@ def disseminate_lossy(
     """
     if not 0.0 <= loss < 1.0:
         raise ValueError(f"loss probability {loss} out of [0, 1)")
+    with trace.span(
+        "net.disseminate_lossy",
+        nodes=topology.node_count,
+        packets=packets.packet_count,
+        loss=loss,
+    ):
+        result = _disseminate_lossy(
+            topology, packets, loss, seed, power, max_rounds
+        )
+    metrics.counter("net.lossy.runs").inc()
+    metrics.counter("net.lossy.broadcasts").inc(result.broadcasts)
+    metrics.counter("net.lossy.nacks").inc(result.nacks)
+    metrics.counter("net.lossy.drops").inc(result.drops)
+    metrics.histogram("net.lossy.rounds").observe(result.rounds)
+    metrics.counter("net.energy_j").inc(result.total_energy_j)
+    if not result.complete:
+        metrics.counter("net.lossy.incomplete").inc()
+    return result
+
+
+def _disseminate_lossy(
+    topology: Topology,
+    packets: Packetisation,
+    loss: float,
+    seed: int,
+    power: PowerModel,
+    max_rounds: int,
+) -> LossyResult:
     rng = random.Random(seed)
     count = packets.packet_count
     packet_bits = 8 * (packets.payload_per_packet + packets.overhead_per_packet)
@@ -81,6 +112,7 @@ def disseminate_lossy(
     broadcasts = 0
     nacks = 0
     rounds = 0
+    drops = 0
     while rounds < max_rounds:
         if all(len(have[node]) == count for node in have):
             break
@@ -115,6 +147,8 @@ def disseminate_lossy(
                     if rng.random() >= loss:
                         have[peer].add(packet)
                         ledgers[peer].packets_received += 1
+                    else:
+                        drops += 1
 
     complete = all(len(have[node]) == count for node in have)
     return LossyResult(
@@ -124,4 +158,5 @@ def disseminate_lossy(
         broadcasts=broadcasts,
         nacks=nacks,
         complete=complete,
+        drops=drops,
     )

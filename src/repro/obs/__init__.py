@@ -1,0 +1,43 @@
+"""repro.obs — zero-dependency pipeline observability.
+
+Two always-importable halves and one driver:
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer.  Instrumented
+  stages wrap their work in ``with trace.span("ilp.solve", ...)``;
+  spans record wall time, nesting depth, arguments, and exception
+  status, and export as JSONL or Chrome-trace-viewer JSON.  Disabled
+  by default: a disabled span costs one attribute check.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and histograms the hot paths publish into (solver
+  iterations, chunk-reuse hits, script sizes, retransmissions,
+  simulated cycles, fuzz verdicts).  Always on; every publication is
+  a dict lookup plus an add.
+* :mod:`repro.obs.profile` — the ``repro profile`` driver: one traced
+  end-to-end update folded into a per-phase time/energy breakdown.
+  Imported lazily (it depends on the pipeline; the other two depend
+  on nothing).
+
+The telemetry *contract* — span naming scheme, the full metric
+catalogue with units, and the trace-file schemas — lives in
+``docs/OBSERVABILITY.md`` and is enforced by ``tools/check_docs.py``:
+a metric or span name used in code but absent from the catalogue
+fails CI.
+"""
+
+from . import metrics, trace
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import TRACER, TraceEvent, Tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TRACER",
+    "TraceEvent",
+    "Tracer",
+    "metrics",
+    "span",
+    "trace",
+]

@@ -1,0 +1,214 @@
+"""Process-wide metrics registry (the ``metrics`` half of :mod:`repro.obs`).
+
+Three instrument kinds, mirroring the usual telemetry vocabulary:
+
+* :class:`Counter` — a monotonically increasing total (events, bytes,
+  solver iterations);
+* :class:`Gauge` — a last-written value (a configuration knob, a level);
+* :class:`Histogram` — a value-distribution summary (count / sum / min /
+  max / mean) for quantities that vary per observation, such as script
+  sizes.
+
+Instrumented modules publish through the module-level helpers::
+
+    from ..obs import metrics
+
+    metrics.counter("ilp.simplex_iterations").inc(stats.iterations)
+    metrics.histogram("diff.script_bytes").observe(script.size_bytes)
+
+Metrics are always on — each publication is a dict lookup plus an add,
+and every call site sits at per-compile / per-run granularity, never
+inside an instruction loop.  Metric names are dot-separated
+``<package>.<quantity>`` identifiers; every name used in this
+repository must appear in the catalogue in ``docs/OBSERVABILITY.md``
+(enforced by ``tools/check_docs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Gauge:
+    """A last-written value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Histogram:
+    """A streaming summary of observed values."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name=name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- inspection -----------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """Full state of every metric whose name starts with ``prefix``."""
+        return {
+            name: metric.snapshot()  # type: ignore[attr-defined]
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+    def values(self, prefix: str = "") -> dict[str, float]:
+        """Scalar view: counter/gauge values and histogram counts."""
+        out: dict[str, float] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if not name.startswith(prefix):
+                continue
+            if isinstance(metric, Histogram):
+                out[name] = float(metric.count)
+            else:
+                out[name] = metric.value  # type: ignore[union-attr]
+        return out
+
+    def delta(self, before: dict[str, float], prefix: str = "") -> dict[str, float]:
+        """Per-interval change vs an earlier :meth:`values` snapshot."""
+        return {
+            name: value - before.get(name, 0.0)
+            for name, value in self.values(prefix).items()
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for metric in self._metrics.values():
+            metric.reset()  # type: ignore[attr-defined]
+
+    def render(self, prefix: str = "") -> str:
+        """Human-readable dump, one metric per line."""
+        lines = []
+        for name, snap in self.snapshot(prefix).items():
+            if snap["type"] == "histogram":
+                if snap["count"]:
+                    lines.append(
+                        f"{name}: count={snap['count']} sum={snap['sum']:g} "
+                        f"min={snap['min']:g} max={snap['max']:g} "
+                        f"mean={snap['mean']:g}"
+                    )
+                else:
+                    lines.append(f"{name}: count=0")
+            else:
+                lines.append(f"{name}: {snap['value']:g}")
+        return "\n".join(lines)
+
+
+#: The process-wide registry every instrumented module publishes into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]

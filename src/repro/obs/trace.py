@@ -1,0 +1,248 @@
+"""Hierarchical span tracer (the ``trace`` half of :mod:`repro.obs`).
+
+Usage from instrumented code::
+
+    from ..obs import trace
+
+    with trace.span("ilp.solve", backend=backend) as sp:
+        result = ...
+        sp.set(status=result.status)
+
+Spans nest: each completed span records its wall time, its nesting
+depth, its arguments, and whether it exited through an exception.  The
+default process-wide tracer (:data:`TRACER`) is **disabled** unless a
+driver — ``repro profile``, a test, a bench — enables it, and a
+disabled ``span()`` call returns a shared no-op context manager, so
+instrumentation costs one attribute check on every hot path.
+
+Completed traces export two ways (schema documented in
+``docs/OBSERVABILITY.md``):
+
+* :meth:`Tracer.to_jsonl` — one JSON object per span, in completion
+  order (children complete before parents);
+* :meth:`Tracer.chrome_trace` — a ``chrome://tracing`` /  Perfetto
+  compatible ``{"traceEvents": [...]}`` document of complete
+  (``"ph": "X"``) events.
+
+Span names are dot-separated ``<package>.<operation>`` identifiers;
+every name emitted by this repository is catalogued in
+``docs/OBSERVABILITY.md`` (enforced by ``tools/check_docs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceEvent:
+    """One completed span."""
+
+    name: str
+    #: microseconds since the tracer's epoch (its enable() call)
+    start_us: float
+    duration_us: float
+    #: nesting depth at the time the span was open (0 = root)
+    depth: int
+    args: dict = field(default_factory=dict)
+    #: the span body raised
+    error: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_us": round(self.start_us, 3),
+            "dur_us": round(self.duration_us, 3),
+            "depth": self.depth,
+            "args": self.args,
+            "error": self.error,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        """Ignore attributes recorded against a disabled span."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+        self._depth = 0
+
+    def set(self, **args) -> None:
+        """Attach (or overwrite) span arguments mid-flight."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._tracer._enter()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        self._tracer._exit(self, end, error=exc_type is not None)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from nested spans.
+
+    Thread-safe in the simple sense: each thread keeps its own nesting
+    depth, and the (GIL-atomic) event list is shared.  The reproduction
+    is single-threaded today; the per-thread depth just keeps traces
+    honest if that changes.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- collection -----------------------------------------------------------
+
+    def span(self, name: str, **args):
+        """Open a span; a context manager.  No-op while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, args)
+
+    def _enter(self) -> int:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        return depth
+
+    def _exit(self, span: _Span, end: float, error: bool) -> None:
+        self._local.depth = max(0, getattr(self._local, "depth", 1) - 1)
+        if not self.enabled:  # disabled while the span was open
+            return
+        self._events.append(
+            TraceEvent(
+                name=span.name,
+                start_us=(span._start - self._epoch) * 1e6,
+                duration_us=(end - span._start) * 1e6,
+                depth=span._depth,
+                args=span.args,
+                error=error,
+            )
+        )
+
+    # -- control --------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start collecting; resets the epoch so timestamps start near 0."""
+        self.enabled = True
+        if not self._events:
+            self._epoch = time.perf_counter()
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop collected events and restart the clock."""
+        self._events = []
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    def events(self) -> list[TraceEvent]:
+        """Completed spans, in completion order."""
+        return list(self._events)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per completed span, newline-delimited."""
+        return "\n".join(json.dumps(ev.to_dict()) for ev in self._events)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            if self._events:
+                handle.write("\n")
+
+    def chrome_trace(self) -> dict:
+        """A ``chrome://tracing``-loadable trace document.
+
+        Every span becomes a complete event (``"ph": "X"``) with
+        microsecond timestamps, on one process/thread track.
+        """
+        events = [
+            {
+                "name": ev.name,
+                "cat": ev.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(ev.start_us, 3),
+                "dur": round(ev.duration_us, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": dict(ev.args, **({"error": True} if ev.error else {})),
+            }
+            for ev in self._events
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+
+
+#: The process-wide tracer every instrumented module reports into.
+TRACER = Tracer()
+
+
+def span(name: str, **args):
+    """Open a span on the process-wide tracer (module-level sugar)."""
+    if not TRACER.enabled:
+        return _NULL_SPAN
+    return _Span(TRACER, name, args)
+
+
+def enable() -> None:
+    TRACER.enable()
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def reset() -> None:
+    TRACER.reset()
+
+
+def events() -> list[TraceEvent]:
+    return TRACER.events()
+
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "TRACER",
+    "disable",
+    "enable",
+    "events",
+    "reset",
+    "span",
+]

@@ -30,6 +30,7 @@ from ..ir.cfg import static_frequencies
 from ..ir.function import IRFunction
 from ..ir.liveness import analyze
 from ..isa import registers as regs
+from ..obs import metrics
 from .base import AllocationRecord, Placement
 from .chunks import DEFAULT_K, changed_indices
 from .ilp_model import ChunkSpec, build_chunk_model, greedy_incumbent, _loc, _mem
@@ -130,6 +131,15 @@ def allocate_ucc_ilp(
                 variables_redecided=len(internal) if adopted else 0,
             )
         )
+    for outcome in report.chunks:
+        if outcome.status == "adopted":
+            metrics.counter("regalloc.ilp.chunks_adopted").inc()
+        elif outcome.status == "kept_greedy":
+            metrics.counter("regalloc.ilp.chunks_kept_greedy").inc()
+        elif outcome.status == "skipped_too_big":
+            metrics.counter("regalloc.ilp.chunks_skipped").inc()
+        else:
+            metrics.counter("regalloc.ilp.chunks_infeasible").inc()
     return record, report
 
 

@@ -41,6 +41,7 @@ from ..ir.cfg import static_frequencies
 from ..ir.function import IRFunction
 from ..ir.liveness import analyze, interference_pairs
 from ..isa import registers as regs
+from ..obs import metrics
 from .base import AllocationRecord, MoveInsertion, Placement
 from .chunks import Chunk, DEFAULT_K, IRMatch, build_chunks, match_ir
 from .preferences import PreferenceMap, build_preferences
@@ -57,6 +58,22 @@ class UCCReport:
     moves_rejected: int = 0
     tags_honoured: int = 0
     tags_broken: int = 0
+
+
+def _publish(report: UCCReport, fallback: bool) -> None:
+    """Publish one allocation's reuse accounting to :mod:`repro.obs`."""
+    metrics.counter("regalloc.ucc.functions").inc()
+    metrics.counter("regalloc.ucc.tags_honoured").inc(report.tags_honoured)
+    metrics.counter("regalloc.ucc.tags_broken").inc(report.tags_broken)
+    metrics.counter("regalloc.ucc.moves_inserted").inc(report.moves_inserted)
+    metrics.counter("regalloc.ucc.moves_rejected").inc(report.moves_rejected)
+    changed = sum(1 for chunk in report.chunks if chunk.changed)
+    metrics.counter("regalloc.ucc.chunks_changed").inc(changed)
+    metrics.counter("regalloc.ucc.chunks_unchanged").inc(
+        len(report.chunks) - changed
+    )
+    if fallback:
+        metrics.counter("regalloc.ucc.baseline_fallbacks").inc()
 
 
 def allocate_ucc_greedy(
@@ -97,6 +114,7 @@ def allocate_ucc_greedy(
         record = allocate_graph_coloring(new_fn)
         record.algorithm = "ucc-ra(baseline-fallback)"
         report = UCCReport(match=match, chunks=chunks, preferences=prefs)
+        _publish(report, fallback=True)
         return record, report
 
     info = analyze(new_fn)
@@ -314,5 +332,7 @@ def allocate_ucc_greedy(
 
         fallback = allocate_graph_coloring(new_fn)
         fallback.algorithm = "ucc-ra(baseline-fallback)"
+        _publish(report, fallback=True)
         return fallback, report
+    _publish(report, fallback=False)
     return record, report

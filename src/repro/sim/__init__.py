@@ -1,4 +1,33 @@
-"""Instruction-level mote simulator and peripherals."""
+"""Instruction-level mote simulator and peripherals.
+
+The reproduction's stand-in for Avrora (paper §5.1): a cycle-accounted
+interpreter for the AVR-flavoured ISA of :mod:`repro.isa`, supplying
+the two measurements the evaluation needs — ``Diff_cycle`` (execution
+cycles of old vs new binaries, Figure 11) and the per-IR-statement
+execution frequencies ``freq(s)`` that weight the ILP energy objective
+(eq. 10).
+
+Device semantics
+    A :class:`~repro.sim.devices.DeviceBoard` maps an LED port, a
+    radio port, a timer, and an ADC into data memory
+    (:mod:`repro.isa.devices`).  Each device records its observable
+    event stream — LED writes, radio packets sent, timer fires, ADC
+    samples — and :func:`~repro.sim.executor.traces_equal` compares
+    two runs stream-by-stream, which is what "behaviourally
+    equivalent after patching" means throughout the fuzzer and tests.
+    The timer can fire every Nth poll rather than every Nth cycle so
+    two binaries of slightly different speed still see the identical
+    logical schedule (DESIGN.md §5b).
+
+Cycle fidelity
+    Per-opcode base costs come from the opcode table; taken branches
+    cost one extra cycle, like the ATmega128L.  A run ends at ``halt``,
+    at ``main`` returning, or at a configurable cycle budget (budget
+    exhaustion usually means a hang and is counted separately).
+
+Each run emits one ``sim.run`` span and per-run ``sim.*`` totals into
+:mod:`repro.obs` — never per-instruction — see docs/OBSERVABILITY.md.
+"""
 
 from .devices import Adc, DeviceBoard, LedBank, Radio, Timer
 from .executor import (

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..isa import devices as memmap
 from ..isa.assembler import BinaryImage, EncodedInstr
 from ..isa.instructions import MachineInstr
+from ..obs import metrics, trace
 from .devices import DeviceBoard
 
 
@@ -404,9 +405,20 @@ class Simulator:
         raise SimulationError(f"cannot execute {ins}")  # pragma: no cover
 
     def run(self, max_cycles: int = 5_000_000) -> RunResult:
-        """Run until HALT, main-return, or the cycle budget."""
-        while not self.halted and self.cycles < max_cycles:
-            self.step()
+        """Run until HALT, main-return, or the cycle budget.
+
+        Metrics are published once per run (never per instruction), so
+        the simulation loop itself stays uninstrumented.
+        """
+        with trace.span("sim.run", max_cycles=max_cycles) as span:
+            while not self.halted and self.cycles < max_cycles:
+                self.step()
+            span.set(cycles=self.cycles, instructions=self.executed)
+        metrics.counter("sim.runs").inc()
+        metrics.counter("sim.cycles").inc(self.cycles)
+        metrics.counter("sim.instructions").inc(self.executed)
+        if not self.halted:
+            metrics.counter("sim.cycle_budget_hits").inc()
         return RunResult(
             cycles=self.cycles,
             instructions=self.executed,

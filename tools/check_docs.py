@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Documentation gate for CI (the ``docs`` job).
+
+Two checks, both against the working tree, no third-party deps:
+
+1. **Intra-repo Markdown links.**  Every relative link target in the
+   curated documentation set must exist on disk.  External URLs and
+   pure-anchor links are skipped; ``#fragment`` suffixes are stripped
+   before the existence check.
+
+2. **Telemetry catalogue coverage.**  Every literal span/metric name
+   used in ``src/repro`` — a string passed to ``trace.span("...")``,
+   ``metrics.counter("...")``, ``metrics.gauge("...")`` or
+   ``metrics.histogram("...")`` — must appear (backticked) in
+   ``docs/OBSERVABILITY.md``.  This is why instrumented code must pass
+   names as literals: a name routed through a variable is invisible
+   here and would silently escape the contract.
+
+Exit status: 0 when both checks pass, 1 otherwise (one line per
+problem on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Documentation files whose links we guarantee.  PAPER.md / PAPERS.md /
+#: SNIPPETS.md / ISSUE.md are excluded on purpose: they carry imported
+#: text and code fragments with markdown-shaped content we do not own.
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+)
+
+CATALOGUE = "docs/OBSERVABILITY.md"
+
+#: [text](target) — excluding images; target up to the first ')' that
+#: is not preceded by an escape.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+_SPAN_RE = re.compile(r"\bspan\(\s*\"([a-z0-9_.]+)\"")
+_METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\(\s*\"([a-z0-9_.]+)\"")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / name for name in DOC_FILES]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> list[str]:
+    problems = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def emitted_names() -> tuple[set[str], set[str]]:
+    """(span names, metric names) used as literals under src/repro."""
+    spans: set[str] = set()
+    mets: set[str] = set()
+    for source in sorted((REPO / "src" / "repro").rglob("*.py")):
+        text = source.read_text(encoding="utf-8")
+        spans.update(_SPAN_RE.findall(text))
+        mets.update(_METRIC_RE.findall(text))
+    return spans, mets
+
+
+def check_catalogue() -> list[str]:
+    catalogue_path = REPO / CATALOGUE
+    if not catalogue_path.exists():
+        return [f"{CATALOGUE} is missing"]
+    catalogue = catalogue_path.read_text(encoding="utf-8")
+    problems = []
+    spans, mets = emitted_names()
+    for name in sorted(spans):
+        if f"`{name}`" not in catalogue:
+            problems.append(
+                f"span {name!r} is emitted in src/repro but not "
+                f"catalogued in {CATALOGUE}"
+            )
+    for name in sorted(mets):
+        if f"`{name}`" not in catalogue:
+            problems.append(
+                f"metric {name!r} is emitted in src/repro but not "
+                f"catalogued in {CATALOGUE}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_catalogue()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    spans, mets = emitted_names()
+    print(
+        f"check_docs: {len(doc_files())} docs, {len(spans)} spans, "
+        f"{len(mets)} metrics, {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
