@@ -10,6 +10,7 @@ lower bound at loss 0.
 from repro.core import plan_update
 from repro.net import disseminate_lossy, grid
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 from conftest import emit_table
 
@@ -20,8 +21,8 @@ def test_ablation_lossy_links(benchmark, case_olds):
     case = CASES["D1"]
     old = case_olds["D1"]
     topo = grid(5, 5)
-    baseline = plan_update(old, case.new_source, ra="gcc", da="gcc")
-    ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+    baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+    ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
 
     rows = []
     savings = []

@@ -12,6 +12,7 @@ first deployment) against a growth-heavy update.
 
 from repro.core import Compiler, CompilerOptions, plan_update
 from repro.workloads import CASES, RA_CASE_IDS
+from repro.config import UpdateConfig
 
 from conftest import emit_table
 
@@ -24,7 +25,7 @@ def test_ablation_placement_strategy(benchmark, case_olds):
         old = case_olds[cid]
         row = [cid]
         for cp in ("gcc", "ucc", None):
-            result = plan_update(old, case.new_source, ra="ucc", da="ucc", cp=cp)
+            result = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc", cp=cp))
             label = cp or "auto"
             row.append(result.code_script_bytes)
             totals[label] += result.code_script_bytes
@@ -61,7 +62,7 @@ def test_ablation_placement_headroom():
     for headroom in (0, 8, 16, 32):
         options = CompilerOptions(placement_headroom=headroom)
         old = Compiler(options).compile(GROWTH_SRC)
-        result = plan_update(old, GROWN_SRC, ra="ucc", da="ucc", cp="ucc")
+        result = plan_update(old, GROWN_SRC, config=UpdateConfig(ra="ucc", da="ucc", cp="ucc"))
         stable = len(result.new.placement.stable_functions(old.placement))
         rows.append(
             [

@@ -12,6 +12,7 @@ each strategy for the application-replacement update.
 
 from repro.core import plan_update
 from repro.workloads import CASES, RA_CASE_IDS
+from repro.config import UpdateConfig
 
 from conftest import emit_table
 
@@ -22,8 +23,8 @@ def test_fig10_dissemination_cost(benchmark, case_olds):
     for cid in RA_CASE_IDS:
         case = CASES[cid]
         old = case_olds[cid]
-        gcc = plan_update(old, case.new_source, ra="gcc", da="ucc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        gcc = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="ucc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         rows.append(
             [
                 cid,
@@ -52,8 +53,8 @@ def test_fig10_case13_reuse(case_olds):
     reuses more than GCC-RA (paper: 422 + 15% for the TinyOS images)."""
     case = CASES["13"]
     old = case_olds["13"]
-    gcc = plan_update(old, case.new_source, ra="gcc", da="ucc")
-    ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+    gcc = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="ucc"))
+    ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
     rows = [
         ["old instructions (CntToLeds)", gcc.diff.old_instructions],
         ["new instructions (CntToRfm)", gcc.diff.new_instructions],

@@ -9,6 +9,7 @@ slowdown is a negligible fraction of the run.
 
 from repro.core import measure_cycles, plan_update
 from repro.workloads import CASES, RA_CASE_IDS
+from repro.config import UpdateConfig
 
 from conftest import emit_table
 
@@ -18,8 +19,8 @@ def test_fig11_code_quality(benchmark, case_olds):
     for cid in RA_CASE_IDS:
         case = CASES[cid]
         old = case_olds[cid]
-        gcc = measure_cycles(plan_update(old, case.new_source, ra="gcc", da="ucc"))
-        ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+        gcc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="ucc")))
+        ucc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc")))
         ucc_overhead = ucc.new_cycles - gcc.new_cycles
         rows.append(
             [
@@ -43,5 +44,5 @@ def test_fig11_code_quality(benchmark, case_olds):
     )
 
     case = CASES["6"]
-    result = plan_update(case_olds["6"], case.new_source, ra="ucc", da="ucc")
+    result = plan_update(case_olds["6"], case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
     benchmark(measure_cycles, result)

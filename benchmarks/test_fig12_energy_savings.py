@@ -15,6 +15,7 @@ Reproduced shape:
 from repro.core import UpdatePlanner, measure_cycles, plan_update
 from repro.energy import DEFAULT_ENERGY_MODEL
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 from conftest import emit_table
 
@@ -33,7 +34,7 @@ def test_fig12_energy_savings(benchmark, case_olds):
         row = [cid]
         for cnt in CNT_SWEEP:
             baseline = measure_cycles(
-                planner.plan(case.new_source, ra="gcc", da="ucc")
+                planner.plan(case.new_source, config=UpdateConfig(ra="gcc", da="ucc"))
             )
             adaptive = planner.plan_adaptive(case.new_source, cnt=cnt)
             savings = baseline.diff_energy(cnt, model) - adaptive.diff_energy(
@@ -77,8 +78,8 @@ def test_fig12_cnt_gates_move_insertion():
         "    g = g + a;\n" + tail + "\n}\nvoid main() { f(1); halt(); }"
     )
     old = compile_source(old_src)
-    small = plan_update(old, new_src, ra="ucc", da="ucc", expected_runs=1.0)
-    huge = plan_update(old, new_src, ra="ucc", da="ucc", expected_runs=1e9)
+    small = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc", expected_runs=1.0))
+    huge = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc", expected_runs=1e9))
     rows = [
         ["Cnt=1", small.moves_inserted(), small.diff_inst],
         ["Cnt=1e9", huge.moves_inserted(), huge.diff_inst],

@@ -9,6 +9,7 @@ rename perturbs GCC-DA's hash order.
 
 from repro.core import plan_update
 from repro.workloads import CASES, DATA_CASE_IDS
+from repro.config import UpdateConfig
 
 from conftest import emit_table
 
@@ -18,8 +19,8 @@ def test_fig16_data_layout(benchmark, case_olds):
     for cid in DATA_CASE_IDS:
         case = CASES[cid]
         old = case_olds[cid]
-        gcc = plan_update(old, case.new_source, ra="ucc", da="gcc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        gcc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="gcc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         moved_gcc = len(gcc.new.layout.moved_objects(old.layout))
         moved_ucc = len(ucc.new.layout.moved_objects(old.layout))
         total = ucc.diff.new_instructions
@@ -44,7 +45,7 @@ def test_fig16_data_layout(benchmark, case_olds):
 
     # D2's headline: renames are (nearly) free under UCC-DA.
     case = CASES["D2"]
-    ucc = plan_update(case_olds["D2"], case.new_source, ra="ucc", da="ucc")
+    ucc = plan_update(case_olds["D2"], case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
     assert ucc.diff_inst <= 2
 
     benchmark(plan_update, case_olds["D1"], CASES["D1"].new_source, ra="ucc", da="ucc")
@@ -55,8 +56,8 @@ def test_fig16_space_threshold_tradeoff(case_olds):
     a large threshold avoids relocations (and their re-encodings)."""
     case = CASES["D2"]
     old = case_olds["D2"]
-    tight = plan_update(old, case.new_source, ra="ucc", da="ucc", space_threshold=0)
-    loose = plan_update(old, case.new_source, ra="ucc", da="ucc", space_threshold=64)
+    tight = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc", space_threshold=0))
+    loose = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc", space_threshold=64))
     rows = [
         ["SpaceT=0", tight.diff_inst, tight.new.layout.wasted_bytes],
         ["SpaceT=64", loose.diff_inst, loose.new.layout.wasted_bytes],

@@ -13,6 +13,7 @@ import time
 from repro.core import compile_source, plan_update
 from repro.workloads import PROGRAMS
 from repro.workloads.extra import EXTRA_PROGRAMS
+from repro.config import UpdateConfig
 
 from conftest import emit_table, synthetic_chunk_source
 
@@ -26,7 +27,7 @@ def test_scale_workloads(benchmark):
 
         edited = source.replace("halt();", "led_set(1);\n    halt();", 1)
         start = time.perf_counter()
-        result = plan_update(program, edited, ra="ucc", da="ucc")
+        result = plan_update(program, edited, config=UpdateConfig(ra="ucc", da="ucc"))
         plan_ms = (time.perf_counter() - start) * 1e3
         rows.append(
             [
@@ -55,7 +56,7 @@ def test_scale_synthetic_growth():
         program = compile_source(source)
         edited = source.replace("v0 = v1", "v0 = v2", 1)
         start = time.perf_counter()
-        result = plan_update(program, edited, ra="ucc", da="ucc")
+        result = plan_update(program, edited, config=UpdateConfig(ra="ucc", da="ucc"))
         elapsed = time.perf_counter() - start
         times.append((program.instruction_count, elapsed))
         rows.append(
@@ -84,8 +85,8 @@ def test_scale_extended_cases():
     rows = []
     for case_id, (desc, old_src, new_src) in EXTRA_CASES.items():
         old = compile_source(old_src)
-        baseline = plan_update(old, new_src, ra="gcc", da="gcc")
-        ucc = plan_update(old, new_src, ra="ucc", da="ucc")
+        baseline = plan_update(old, new_src, config=UpdateConfig(ra="gcc", da="gcc"))
+        ucc = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc"))
         rows.append(
             [
                 case_id,

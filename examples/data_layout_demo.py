@@ -14,6 +14,7 @@ Run:  python examples/data_layout_demo.py
 
 from repro.core import compile_source, plan_update
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 def show_layout(tag: str, layout, names) -> None:
@@ -32,8 +33,8 @@ def demo(case_id: str) -> None:
     old_globals = [s.uid for s in old.module.globals]
     show_layout("old layout     ", old.layout, old_globals)
 
-    baseline = plan_update(old, case.new_source, ra="ucc", da="gcc")
-    ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+    baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="gcc"))
+    ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
     new_globals = [s.uid for s in ucc.new.module.globals]
     show_layout("GCC-DA relayout", baseline.new.layout, new_globals)
     show_layout("UCC-DA relayout", ucc.new.layout, new_globals)

@@ -19,6 +19,7 @@ Run:  python examples/energy_tradeoff.py
 from repro.core import UpdatePlanner, compile_source, measure_cycles
 from repro.energy import DEFAULT_ENERGY_MODEL
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 def main() -> None:
@@ -34,8 +35,8 @@ def main() -> None:
     old = compile_source(case.old_source)
     planner = UpdatePlanner(old)
 
-    ucc = measure_cycles(planner.plan(case.new_source, ra="ucc", da="ucc"))
-    baseline = measure_cycles(planner.plan(case.new_source, ra="gcc", da="ucc"))
+    ucc = measure_cycles(planner.plan(case.new_source, config=UpdateConfig(ra="ucc", da="ucc")))
+    baseline = measure_cycles(planner.plan(case.new_source, config=UpdateConfig(ra="gcc", da="ucc")))
     print(
         f"  UCC     : transmits {ucc.diff_words:2d} words, "
         f"runs {ucc.new_cycles - baseline.new_cycles:+d} cycles vs baseline"

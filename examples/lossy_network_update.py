@@ -41,11 +41,12 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
+    from repro.config import UpdateConfig
     from repro.core import UpdatePlanner
 
     for strategy, ra, da in (("baseline", "gcc", "gcc"), ("UCC", "ucc", "ucc")):
         planner = UpdatePlanner(deployed, profile=profile)
-        result = planner.plan(case.new_source, ra=ra, da=da)
+        result = planner.plan(case.new_source, config=UpdateConfig(ra=ra, da=da))
         for loss in (0.0, 0.15, 0.30):
             net = disseminate_lossy(topology, result.packets, loss=loss, seed=9)
             print(

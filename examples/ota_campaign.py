@@ -10,6 +10,7 @@ compares the joule-level radio bills from the Mica2 power model.
 Run:  python examples/ota_campaign.py
 """
 
+from repro.config import UpdateConfig
 from repro.core import UpdateSession, compile_source
 from repro.net import grid
 from repro.workloads import CNT_TO_LEDS
@@ -42,7 +43,7 @@ def run_campaign(strategy: str) -> tuple[float, int]:
     for step, edit in enumerate(EDITS, start=1):
         source = edit(source)
         ra, da = ("ucc", "ucc") if strategy == "ucc" else ("gcc", "gcc")
-        result = session.push_update(source, ra=ra, da=da)
+        result = session.push_update(source, config=UpdateConfig(ra=ra, da=da))
         total_j += result.network_energy_j
         total_bytes += result.update.script_bytes
         print(

@@ -13,6 +13,7 @@ Run:  python examples/quickstart.py
 from repro import compile_source, plan_update
 from repro.diff.patcher import patched_words
 from repro.sim import DeviceBoard, Timer, run_image
+from repro.config import UpdateConfig
 
 OLD_SOURCE = """
 // A little telemetry node: every timer tick, sample the sensor,
@@ -65,8 +66,8 @@ def main() -> None:
           f"{old.size_words} words")
 
     print("\n=== 2. recompile the edited source, both ways ===")
-    baseline = plan_update(old, NEW_SOURCE, ra="gcc", da="gcc")
-    ucc = plan_update(old, NEW_SOURCE, ra="ucc", da="ucc")
+    baseline = plan_update(old, NEW_SOURCE, config=UpdateConfig(ra="gcc", da="gcc"))
+    ucc = plan_update(old, NEW_SOURCE, config=UpdateConfig(ra="ucc", da="ucc"))
     for name, result in (("update-oblivious", baseline), ("UCC", ucc)):
         print(
             f"{name:>17s}: Diff_inst={result.diff_inst:3d}  "

@@ -5,13 +5,19 @@ Zheng; PLDI 2007).
 Quick tour
 ----------
 
->>> from repro import compile_source, plan_update
+>>> from repro import UpdateConfig, compile_source, plan_update
 >>> from repro.workloads import CASES
 >>> case = CASES["6"]
 >>> old = compile_source(case.old_source)
->>> result = plan_update(old, case.new_source, ra="ucc", da="ucc")
->>> result.diff_inst <= plan_update(old, case.new_source, ra="gcc", da="gcc").diff_inst
+>>> ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
+>>> gcc = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+>>> ucc.diff_inst <= gcc.diff_inst
 True
+
+The typed configs above are the supported surface (:mod:`repro.api`);
+the legacy ``ra="ucc"`` string keywords still work but emit
+:class:`DeprecationWarning`.  Batches go through
+:class:`repro.service.FleetUpdateService` (``repro batch`` on the CLI).
 
 Subpackages (see DESIGN.md for the full inventory):
 
@@ -33,6 +39,12 @@ Subpackages (see DESIGN.md for the full inventory):
 
 __version__ = "1.0.0"
 
+from .config import (
+    CompileConfig,
+    FleetJob,
+    TopologySpec,
+    UpdateConfig,
+)
 from .core import (
     CompiledProgram,
     Compiler,
@@ -47,13 +59,17 @@ from .core import (
 from .energy import DEFAULT_ENERGY_MODEL, MICA2, EnergyModel, PowerModel
 
 __all__ = [
+    "CompileConfig",
     "CompiledProgram",
     "Compiler",
     "CompilerOptions",
     "DEFAULT_ENERGY_MODEL",
     "EnergyModel",
+    "FleetJob",
     "MICA2",
     "PowerModel",
+    "TopologySpec",
+    "UpdateConfig",
     "UpdatePlanner",
     "UpdateResult",
     "UpdateSession",

@@ -1,0 +1,139 @@
+"""The typed public API of :mod:`repro`.
+
+This module is the supported programmatic surface.  Every entry point
+takes a frozen config dataclass (:class:`CompileConfig`,
+:class:`UpdateConfig`, :class:`TopologySpec`, :class:`FleetJob`) instead
+of string-flag keyword arguments; the legacy ``ra=``/``da=``/``cp=``
+spellings still work on the underlying classes but emit
+:class:`DeprecationWarning` (see ``docs/API.md`` for the migration
+table).
+
+The surface is pinned: ``tools/check_api.py`` diffs ``__all__`` (and
+each member's signature) against ``tools/api_surface.txt`` in CI, so
+accidental drift fails the build.
+
+>>> import repro.api as api
+>>> from repro.workloads import CASES
+>>> case = CASES["6"]
+>>> old = api.compile_source(case.old_source)
+>>> result = api.plan_update(old, case.new_source,
+...                          config=api.UpdateConfig(ra="ucc", da="ucc"))
+>>> result.diff_inst < result.diff.new_instructions
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .config import (
+    CP_STRATEGIES,
+    DA_STRATEGIES,
+    RA_STRATEGIES,
+    CompileConfig,
+    FleetJob,
+    TopologySpec,
+    UpdateConfig,
+)
+from .core.compiler import CompiledProgram, Compiler
+from .core.session import SessionResult, UpdateSession
+from .core.update import UpdatePlanner, UpdateResult
+from .energy import MICA2, PowerModel
+from .net.topology import Topology
+from .service.fleet import FleetResult, FleetUpdateService, JobOutcome
+from .service.fleet import run_batch as _run_batch
+
+
+def compile_source(
+    source: str,
+    config: Optional[CompileConfig] = None,
+    filename: str = "<source>",
+) -> CompiledProgram:
+    """Compile one translation unit under a :class:`CompileConfig`."""
+    cfg = config if config is not None else CompileConfig()
+    return Compiler(cfg.to_options()).compile(source, filename=filename)
+
+
+def plan_update(
+    old: CompiledProgram,
+    new_source: str,
+    config: Optional[UpdateConfig] = None,
+) -> UpdateResult:
+    """Plan one update of ``old`` to ``new_source`` under an
+    :class:`UpdateConfig` (strategy, knobs, verification)."""
+    cfg = config if config is not None else UpdateConfig()
+    return UpdatePlanner(old, config=cfg).plan(new_source)
+
+
+def make_planner(
+    old: CompiledProgram,
+    config: Optional[UpdateConfig] = None,
+) -> UpdatePlanner:
+    """An :class:`UpdatePlanner` bound to ``old``; reuse it to plan
+    several candidate updates against the same deployed version."""
+    return UpdatePlanner(old, config=config if config is not None else UpdateConfig())
+
+
+def make_session(
+    deployed: CompiledProgram,
+    topology: Union[TopologySpec, Topology, None] = None,
+    config: Optional[UpdateConfig] = None,
+    power: PowerModel = MICA2,
+    loss: float = 0.0,
+    loss_seed: int = 1,
+) -> UpdateSession:
+    """An OTA :class:`UpdateSession` over a topology (a built
+    :class:`~repro.net.topology.Topology` or a declarative
+    :class:`TopologySpec`; ``None`` means the default 8x8 grid)."""
+    built = topology.build() if isinstance(topology, TopologySpec) else topology
+    return UpdateSession(
+        deployed,
+        topology=built,
+        power=power,
+        loss=loss,
+        loss_seed=loss_seed,
+        config=config,
+    )
+
+
+def run_batch(
+    jobs: Sequence[FleetJob],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    use_processes: bool = True,
+) -> FleetResult:
+    """Plan a batch of :class:`FleetJob`s through a fresh
+    :class:`FleetUpdateService` (cached, process-parallel, outcomes in
+    job order)."""
+    return _run_batch(
+        jobs,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        use_processes=use_processes,
+    )
+
+
+__all__ = [
+    "CP_STRATEGIES",
+    "CompileConfig",
+    "CompiledProgram",
+    "DA_STRATEGIES",
+    "FleetJob",
+    "FleetResult",
+    "FleetUpdateService",
+    "JobOutcome",
+    "RA_STRATEGIES",
+    "SessionResult",
+    "TopologySpec",
+    "UpdateConfig",
+    "UpdatePlanner",
+    "UpdateResult",
+    "UpdateSession",
+    "compile_source",
+    "make_planner",
+    "make_session",
+    "plan_update",
+    "run_batch",
+]

@@ -1,5 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every planning command speaks the same strategy flags — ``--ra``
+(``ucc``/``ucc-ilp``/``gcc``/``linear``, default ``ucc``), ``--da``
+(``ucc``/``gcc``, default ``ucc``), ``--cp`` (``auto``/``ucc``/``gcc``,
+default: strategy-dependent), ``--checked`` — which map one-to-one onto
+:class:`repro.UpdateConfig` (see ``docs/API.md``).
+
 Commands
 --------
 
@@ -15,8 +21,13 @@ Commands
     optionally the edit script.
 
 ``case ID``
-    Replay one of the paper's update cases (1-13, D1, D2) under both
-    strategies and print the comparison.
+    Replay one of the paper's update cases (1-13, D1, D2): the gcc/gcc
+    baseline against the selected strategy, side by side.
+
+``batch JOBS.json``
+    Plan a whole fleet of updates through
+    :class:`repro.service.FleetUpdateService` — content-addressed
+    caching, process-parallel execution, deterministic job order.
 
 ``verify OLD NEW`` / ``verify --case ID``
     Plan an update and run every static verification pass
@@ -43,7 +54,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import compile_source, measure_cycles, plan_update
+from .config import (
+    CP_STRATEGIES,
+    DA_STRATEGIES,
+    RA_BASELINE_NAMES,
+    RA_STRATEGIES,
+    CompileConfig,
+    FleetJob,
+    TopologySpec,
+    UpdateConfig,
+)
+from .core import measure_cycles, plan_update
+from .core.compiler import Compiler
 from .sim import DeviceBoard, Simulator, Timer
 from .workloads import CASES
 
@@ -53,10 +75,53 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def cmd_compile(args) -> int:
-    program = compile_source(
-        _read(args.file), register_allocator=args.ra, optimize=not args.no_opt
+def _add_strategy_flags(parser, baseline: bool = True) -> None:
+    """The unified ``--ra/--da/--cp/--checked`` strategy flags.
+
+    Shared by every planning command so spellings, choices, and
+    defaults cannot drift between subcommands.
+    """
+    parser.add_argument(
+        "--ra", default="ucc", choices=list(RA_STRATEGIES),
+        help="register allocation strategy (default: ucc)",
     )
+    parser.add_argument(
+        "--da", default="ucc", choices=list(DA_STRATEGIES),
+        help="data layout strategy (default: ucc)",
+    )
+    parser.add_argument(
+        "--cp", default=None, choices=list(CP_STRATEGIES),
+        help="code placement (default: auto for ucc strategies, gcc otherwise)",
+    )
+    parser.add_argument(
+        "--checked", action="store_true",
+        help="run the checked pipeline (verify after every phase)",
+    )
+    if baseline:
+        parser.add_argument(
+            "--baseline-ra", default="gcc", choices=list(RA_BASELINE_NAMES),
+            help="allocator of the deployed old binary (default: gcc)",
+        )
+
+
+def _update_config(args) -> UpdateConfig:
+    return UpdateConfig(
+        ra=args.ra,
+        da=args.da,
+        cp=args.cp,
+        checked=True if args.checked else None,
+    )
+
+
+def _compile_config(args, ra: str) -> CompileConfig:
+    return CompileConfig.of(ra=ra, checked=args.checked)
+
+
+def cmd_compile(args) -> int:
+    config = CompileConfig.of(
+        ra=args.ra, optimize=not args.no_opt, checked=args.checked
+    )
+    program = Compiler(config.to_options()).compile(_read(args.file))
     print(f"{args.file}: {program.instruction_count} instructions, "
           f"{program.size_words} words code, "
           f"{len(program.image.data)} bytes data")
@@ -70,7 +135,8 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
-    program = compile_source(_read(args.file), register_allocator=args.ra)
+    config = CompileConfig.of(ra=args.ra, checked=args.checked)
+    program = Compiler(config.to_options()).compile(_read(args.file))
     board = DeviceBoard(timer=Timer(period_cycles=args.timer))
     sim = Simulator(program.image, devices=board, collect_profile=args.profile)
     result = sim.run(max_cycles=args.max_cycles)
@@ -91,8 +157,9 @@ def cmd_run(args) -> int:
 
 
 def cmd_update(args) -> int:
-    old = compile_source(_read(args.old), register_allocator=args.baseline_ra)
-    result = plan_update(old, _read(args.new), ra=args.ra, da=args.da)
+    compile_config = _compile_config(args, args.baseline_ra)
+    old = Compiler(compile_config.to_options()).compile(_read(args.old))
+    result = plan_update(old, _read(args.new), config=_update_config(args))
     print(f"strategy      : ra={result.ra_strategy} da={result.da_strategy} "
           f"cp={result.new.placement.algorithm}")
     print(f"old binary    : {result.diff.old_instructions} instructions")
@@ -121,13 +188,101 @@ def cmd_case(args) -> int:
         return 2
     print(f"case {case.case_id} ({case.level}, {case.program}): "
           f"{case.description}")
-    old = compile_source(case.old_source)
-    for ra, da in (("gcc", "gcc"), ("ucc", "ucc")):
-        result = plan_update(old, case.new_source, ra=ra, da=da)
-        print(f"  {ra}/{da}: Diff_inst={result.diff_inst:3d}  "
+    compile_config = _compile_config(args, args.baseline_ra)
+    old = Compiler(compile_config.to_options()).compile(case.old_source)
+    chosen = _update_config(args)
+    for config in (UpdateConfig(ra="gcc", da="gcc"), chosen):
+        result = plan_update(old, case.new_source, config=config)
+        print(f"  {config.ra}/{config.da}: Diff_inst={result.diff_inst:3d}  "
               f"script={result.script_bytes:4d} B  "
               f"packets={result.packets.packet_count}")
     return 0
+
+
+def _job_from_spec(spec: dict, index: int) -> FleetJob:
+    """One batch-file entry → a :class:`repro.FleetJob`.
+
+    Entries name either a paper case (``{"case": "6"}``) or a pair of
+    source files (``{"old": ..., "new": ...}``); strategy keys mirror
+    the CLI flags (``ra``/``da``/``cp``/``checked``/``baseline_ra``),
+    ``grid``/``loss``/``cycles`` add dissemination and simulation.
+    """
+    if "case" in spec:
+        case = CASES.get(str(spec["case"]))
+        if case is None:
+            raise ValueError(
+                f"job {index}: unknown case {spec['case']!r}; "
+                f"available: {', '.join(CASES)}"
+            )
+        old_source, new_source = case.old_source, case.new_source
+        default_id = f"case{case.case_id}"
+    elif "old" in spec and "new" in spec:
+        old_source, new_source = _read(spec["old"]), _read(spec["new"])
+        default_id = f"job{index}"
+    else:
+        raise ValueError(
+            f"job {index}: needs either a \"case\" id or \"old\"/\"new\" files"
+        )
+    checked = spec.get("checked")
+    update = UpdateConfig(
+        ra=spec.get("ra", "ucc"),
+        da=spec.get("da", "ucc"),
+        cp=spec.get("cp"),
+        checked=checked,
+    )
+    compile_config = CompileConfig.of(
+        ra=spec.get("baseline_ra", "gcc"), checked=bool(checked)
+    )
+    topology = None
+    if "grid" in spec:
+        width, height = spec["grid"]
+        topology = TopologySpec.grid(int(width), int(height))
+    return FleetJob(
+        old_source=old_source,
+        new_source=new_source,
+        compile=compile_config,
+        update=update,
+        topology=topology,
+        loss=float(spec.get("loss", 0.0)),
+        loss_seed=int(spec.get("loss_seed", 1)),
+        measure_cycles=bool(spec.get("cycles", False)),
+        job_id=str(spec.get("id", default_id)),
+    )
+
+
+def cmd_batch(args) -> int:
+    import json
+
+    from .service import FleetUpdateService
+
+    with open(args.jobs, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, list):
+        specs, defaults = document, {}
+    else:
+        specs, defaults = document.get("jobs", []), document
+    if not specs:
+        print(f"{args.jobs}: no jobs found", file=sys.stderr)
+        return 2
+    try:
+        jobs = [_job_from_spec(spec, index) for index, spec in enumerate(specs)]
+    except (KeyError, TypeError, ValueError) as error:
+        print(f"{args.jobs}: {error}", file=sys.stderr)
+        return 2
+
+    workers = args.workers or defaults.get("workers")
+    service = FleetUpdateService(
+        workers=1 if args.serial else workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        use_processes=not args.serial,
+    )
+    result = service.run(jobs)
+    if args.repeat > 1:
+        for _ in range(args.repeat - 1):
+            result = service.run(jobs)
+    print(result.render())
+    return 0 if result.ok else 1
 
 
 def cmd_verify(args) -> int:
@@ -148,8 +303,9 @@ def cmd_verify(args) -> int:
         print("verify needs OLD NEW files or --case ID", file=sys.stderr)
         return 2
 
-    old = compile_source(old_source, register_allocator=args.baseline_ra)
-    result = plan_update(old, new_source, ra=args.ra, da=args.da)
+    compile_config = _compile_config(args, args.baseline_ra)
+    old = Compiler(compile_config.to_options()).compile(old_source)
+    result = plan_update(old, new_source, config=_update_config(args))
     report = verify_update(result)
     print(f"verify {label} (ra={args.ra} da={args.da})")
     print(report.render())
@@ -177,11 +333,10 @@ def cmd_fuzz(args) -> int:
         iters=args.iters,
         max_edits=args.max_edits,
         corpus_dir=args.corpus,
-        ra=args.ra,
-        da=args.da,
         config=config,
         on_progress=on_progress,
         shrink_findings=not args.no_shrink,
+        update_config=_update_config(args),
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -209,12 +364,11 @@ def cmd_profile(args) -> int:
     report = profile_update(
         old_source,
         new_source,
-        ra=args.ra,
-        da=args.da,
         grid_side=args.grid,
         loss=args.loss,
         simulate=not args.no_sim,
         label=label,
+        config=_update_config(args),
     )
     print(report.render())
     if args.trace:
@@ -236,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compile = sub.add_parser("compile", help="compile a ucc-C file")
     p_compile.add_argument("file")
-    p_compile.add_argument("--ra", default="gcc", choices=["gcc", "linear"])
+    _add_strategy_flags(p_compile, baseline=False)
     p_compile.add_argument("--no-opt", action="store_true")
     p_compile.add_argument("--disasm", action="store_true")
     p_compile.add_argument("-o", "--output")
@@ -244,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="compile and simulate")
     p_run.add_argument("file")
-    p_run.add_argument("--ra", default="gcc", choices=["gcc", "linear"])
+    _add_strategy_flags(p_run, baseline=False)
     p_run.add_argument("--timer", type=int, default=500)
     p_run.add_argument("--max-cycles", type=int, default=5_000_000)
     p_run.add_argument("--profile", action="store_true")
@@ -253,11 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_update = sub.add_parser("update", help="plan an OTA update")
     p_update.add_argument("old")
     p_update.add_argument("new")
-    p_update.add_argument("--ra", default="ucc",
-                          choices=["ucc", "ucc-ilp", "gcc", "linear"])
-    p_update.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
-    p_update.add_argument("--baseline-ra", default="gcc",
-                          choices=["gcc", "linear"])
+    _add_strategy_flags(p_update)
     p_update.add_argument("--cycles", action="store_true",
                           help="simulate both versions for Diff_cycle")
     p_update.add_argument("--script", action="store_true",
@@ -266,7 +416,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_case = sub.add_parser("case", help="replay a paper update case")
     p_case.add_argument("id")
+    _add_strategy_flags(p_case)
     p_case.set_defaults(func=cmd_case)
+
+    p_batch = sub.add_parser(
+        "batch", help="plan a fleet of updates through the batched, "
+                      "cached, process-parallel update service"
+    )
+    p_batch.add_argument("jobs", help="JSON job file (see docs/API.md)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: file or cpu count)")
+    p_batch.add_argument("--serial", action="store_true",
+                         help="run in-process, no worker pool")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+    p_batch.add_argument("--retries", type=int, default=1,
+                         help="retries per job on worker failure")
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="run the batch N times (cache warm-up demo)")
+    p_batch.set_defaults(func=cmd_batch)
 
     p_verify = sub.add_parser(
         "verify", help="statically verify a planned update"
@@ -274,11 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("old", nargs="?")
     p_verify.add_argument("new", nargs="?")
     p_verify.add_argument("--case", help="verify a paper case instead of files")
-    p_verify.add_argument("--ra", default="ucc",
-                          choices=["ucc", "ucc-ilp", "gcc", "linear"])
-    p_verify.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
-    p_verify.add_argument("--baseline-ra", default="gcc",
-                          choices=["gcc", "linear"])
+    _add_strategy_flags(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_fuzz = sub.add_parser(
@@ -290,9 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max semantic edits per generated pair")
     p_fuzz.add_argument("--corpus", default=None,
                         help="directory for shrunk failing reproducers")
-    p_fuzz.add_argument("--ra", default="ucc",
-                        choices=["ucc", "ucc-ilp", "gcc", "linear"])
-    p_fuzz.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
+    _add_strategy_flags(p_fuzz, baseline=False)
     p_fuzz.add_argument("--max-funcs", type=int, default=3,
                         help="max helper functions per generated program")
     p_fuzz.add_argument("--scheduler-iters", type=int, default=24,
@@ -309,9 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("old", nargs="?")
     p_profile.add_argument("new", nargs="?")
     p_profile.add_argument("--case", help="profile a paper case instead of files")
-    p_profile.add_argument("--ra", default="ucc",
-                           choices=["ucc", "ucc-ilp", "gcc", "linear"])
-    p_profile.add_argument("--da", default="ucc", choices=["ucc", "gcc"])
+    _add_strategy_flags(p_profile, baseline=False)
     p_profile.add_argument("--grid", type=int, default=4,
                            help="dissemination grid side (NxN nodes)")
     p_profile.add_argument("--loss", type=float, default=0.0,

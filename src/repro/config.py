@@ -1,0 +1,303 @@
+"""Typed configuration objects — the vocabulary of :mod:`repro.api`.
+
+One frozen dataclass per decision surface, replacing the string-flag
+kwargs (``ra="ucc"``, ``da``, ``cp``) and ``**planner_kwargs`` that
+used to thread through the pipeline:
+
+* :class:`CompileConfig` — one baseline compile (maps 1:1 onto
+  :class:`repro.core.compiler.CompilerOptions`);
+* :class:`UpdateConfig`  — one update plan (strategy selection plus
+  every planner knob);
+* :class:`TopologySpec`  — a reproducible network topology recipe;
+* :class:`FleetJob`      — one job of a :class:`repro.service
+  .FleetUpdateService` batch: sources + configs + network.
+
+Everything here is immutable, validated at construction, and
+content-addressable: :meth:`digest` renders the configuration to
+canonical JSON and hashes it, which is what the service and solver
+caches key on.  The module deliberately imports almost nothing so any
+layer (CLI, planner, worker process) can depend on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Mapping, Optional, Tuple
+
+from .regalloc.chunks import DEFAULT_K
+
+#: Legal register-allocation strategies for update planning.
+RA_STRATEGIES = ("ucc", "ucc-ilp", "gcc", "linear")
+#: Legal baseline allocators for a from-scratch compile.
+RA_BASELINE_NAMES = ("gcc", "linear")
+#: Legal data-layout strategies.
+DA_STRATEGIES = ("ucc", "gcc")
+#: Legal code-placement strategies (``None`` = strategy default).
+CP_STRATEGIES = ("auto", "ucc", "gcc")
+
+
+def baseline_ra(ra: str) -> str:
+    """The baseline allocator an update strategy falls back to.
+
+    The update-conscious strategies allocate brand-new functions with
+    the graph-coloring baseline, so a from-scratch compile under
+    ``"ucc"``/``"ucc-ilp"`` *is* a ``"gcc"`` compile.
+    """
+    return ra if ra in RA_BASELINE_NAMES else "gcc"
+
+
+def _digest_of(obj) -> str:
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Knobs of one from-scratch compile (typed CompilerOptions)."""
+
+    #: baseline register allocator: "gcc" (graph coloring) or "linear"
+    ra: str = "gcc"
+    #: run the optimization passes (paper compiles with -O3)
+    optimize: bool = True
+    #: per-function Depth_i overrides (paper §4) as (name, depth) pairs
+    depths: Tuple[Tuple[str, int], ...] = ()
+    #: verify allocations against liveness (cheap; on by default)
+    verify: bool = True
+    #: slack words added to every function slot at placement time
+    placement_headroom: int = 0
+    #: run the full repro.analysis passes after the compile
+    checked: bool = False
+
+    def __post_init__(self):
+        if self.ra not in RA_BASELINE_NAMES:
+            raise ValueError(
+                f"CompileConfig.ra must be one of {RA_BASELINE_NAMES}, "
+                f"got {self.ra!r} (update strategies like 'ucc' belong in "
+                f"UpdateConfig; see repro.config.baseline_ra)"
+            )
+
+    @staticmethod
+    def of(
+        ra: str = "gcc",
+        optimize: bool = True,
+        depths: Optional[Mapping[str, int]] = None,
+        verify: bool = True,
+        placement_headroom: int = 0,
+        checked: bool = False,
+    ) -> "CompileConfig":
+        """Build from loose arguments (dict depths, update-strategy ra)."""
+        return CompileConfig(
+            ra=baseline_ra(ra),
+            optimize=optimize,
+            depths=tuple(sorted((depths or {}).items())),
+            verify=verify,
+            placement_headroom=placement_headroom,
+            checked=checked,
+        )
+
+    def to_options(self):
+        """The equivalent :class:`repro.core.compiler.CompilerOptions`."""
+        from .core.compiler import CompilerOptions
+
+        return CompilerOptions(
+            register_allocator=self.ra,
+            optimize=self.optimize,
+            depths=dict(self.depths),
+            verify=self.verify,
+            placement_headroom=self.placement_headroom,
+            checked=self.checked,
+        )
+
+    def digest(self) -> str:
+        return _digest_of(asdict(self))
+
+
+@dataclass(frozen=True)
+class UpdateConfig:
+    """Every knob of one update plan (typed ``ra``/``da``/``cp``)."""
+
+    #: register allocation: "ucc", "ucc-ilp", or a baseline ("gcc"/"linear")
+    ra: str = "ucc"
+    #: data layout: "ucc" (threshold-based §4) or "gcc" (name hash)
+    da: str = "ucc"
+    #: code placement: "auto" (ship the smaller script), "ucc" (keep old
+    #: addresses), "gcc" (pack afresh); None = strategy default ("auto"
+    #: for the update-conscious allocators, "gcc" for the baselines)
+    cp: Optional[str] = None
+    #: run the repro.analysis passes over the planned update; None
+    #: inherits the old program's ``options.checked``
+    checked: Optional[bool] = None
+    #: verify the sensor-side patch round-trips (cheap; on by default)
+    verify: bool = True
+    #: chunking threshold K (paper §3.2)
+    k: int = DEFAULT_K
+    #: projected execution count Cnt driving eq. 18 decisions
+    expected_runs: float = 1000.0
+    #: UCC-DA relocation threshold SpaceT in bytes (paper §4)
+    space_threshold: int = 0
+
+    def __post_init__(self):
+        if self.ra not in RA_STRATEGIES:
+            raise ValueError(
+                f"UpdateConfig.ra must be one of {RA_STRATEGIES}, got {self.ra!r}"
+            )
+        if self.da not in DA_STRATEGIES:
+            raise ValueError(
+                f"UpdateConfig.da must be one of {DA_STRATEGIES}, got {self.da!r}"
+            )
+        if self.cp is not None and self.cp not in CP_STRATEGIES:
+            raise ValueError(
+                f"UpdateConfig.cp must be None or one of {CP_STRATEGIES}, "
+                f"got {self.cp!r}"
+            )
+        if self.k < 1:
+            raise ValueError(f"UpdateConfig.k must be >= 1, got {self.k}")
+        if self.expected_runs < 0:
+            raise ValueError("UpdateConfig.expected_runs must be >= 0")
+
+    def resolved_cp(self) -> str:
+        """The effective placement strategy (strategy default applied)."""
+        if self.cp is not None:
+            return self.cp
+        return "auto" if self.ra in ("ucc", "ucc-ilp") else "gcc"
+
+    def digest(self) -> str:
+        return _digest_of(asdict(self))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A reproducible recipe for a dissemination network."""
+
+    #: "grid" (width x height), "line" (nodes), or "random" (nodes,
+    #: radio_range, seed)
+    kind: str = "grid"
+    width: int = 5
+    height: int = 5
+    nodes: int = 8
+    spacing: float = 1.0
+    radio_range: float = 0.18
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.kind not in ("grid", "line", "random"):
+            raise ValueError(
+                f"TopologySpec.kind must be grid/line/random, got {self.kind!r}"
+            )
+
+    @staticmethod
+    def grid(width: int, height: int, spacing: float = 1.0) -> "TopologySpec":
+        return TopologySpec(kind="grid", width=width, height=height, spacing=spacing)
+
+    @staticmethod
+    def line(nodes: int, spacing: float = 1.0) -> "TopologySpec":
+        return TopologySpec(kind="line", nodes=nodes, spacing=spacing)
+
+    @staticmethod
+    def random(nodes: int, radio_range: float = 0.18, seed: int = 42) -> "TopologySpec":
+        return TopologySpec(
+            kind="random", nodes=nodes, radio_range=radio_range, seed=seed
+        )
+
+    def node_count(self) -> int:
+        return self.width * self.height if self.kind == "grid" else self.nodes
+
+    def build(self):
+        """Materialise the :class:`repro.net.topology.Topology`."""
+        from .net.topology import build_topology
+
+        return build_topology(
+            self.kind,
+            width=self.width,
+            height=self.height,
+            nodes=self.nodes,
+            spacing=self.spacing,
+            radio_range=self.radio_range,
+            seed=self.seed,
+        )
+
+    def digest(self) -> str:
+        return _digest_of(asdict(self))
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One update job of a fleet batch: sources + configs + network."""
+
+    old_source: str
+    new_source: str
+    compile: CompileConfig = field(default_factory=CompileConfig)
+    update: UpdateConfig = field(default_factory=UpdateConfig)
+    #: None plans the update without disseminating it
+    topology: Optional[TopologySpec] = None
+    #: per-link drop probability (> 0 selects the lossy NACK protocol)
+    loss: float = 0.0
+    loss_seed: int = 1
+    #: simulate both versions for Diff_cycle (slow)
+    measure_cycles: bool = False
+    #: free-form label echoed in the outcome (defaults to the index)
+    job_id: str = ""
+
+    def __post_init__(self):
+        if not (0.0 <= self.loss < 1.0):
+            raise ValueError(f"FleetJob.loss must be in [0, 1), got {self.loss}")
+
+    def digest(self) -> str:
+        """Content address of the whole job (sources by hash)."""
+        return _digest_of(
+            {
+                "old": hashlib.sha256(self.old_source.encode("utf-8")).hexdigest(),
+                "new": hashlib.sha256(self.new_source.encode("utf-8")).hexdigest(),
+                "compile": asdict(self.compile),
+                "update": asdict(self.update),
+                "topology": asdict(self.topology) if self.topology else None,
+                "loss": self.loss,
+                "loss_seed": self.loss_seed,
+                "measure_cycles": self.measure_cycles,
+            }
+        )
+
+
+def merge_legacy_strategy(
+    config: Optional[UpdateConfig],
+    ra: Optional[str] = None,
+    da: Optional[str] = None,
+    cp: Optional[str] = None,
+    verify: Optional[bool] = None,
+    checked: Optional[bool] = None,
+) -> UpdateConfig:
+    """Fold legacy string-flag kwargs into an :class:`UpdateConfig`.
+
+    Shared by the deprecation shims in :mod:`repro.core.update` and
+    :mod:`repro.core.session`; explicit legacy values override the
+    config's fields.
+    """
+    merged = config if config is not None else UpdateConfig()
+    overrides = {}
+    if ra is not None:
+        overrides["ra"] = ra
+    if da is not None:
+        overrides["da"] = da
+    if cp is not None:
+        overrides["cp"] = cp
+    if verify is not None:
+        overrides["verify"] = verify
+    if checked is not None:
+        overrides["checked"] = checked
+    return replace(merged, **overrides) if overrides else merged
+
+
+__all__ = [
+    "CP_STRATEGIES",
+    "DA_STRATEGIES",
+    "RA_BASELINE_NAMES",
+    "RA_STRATEGIES",
+    "CompileConfig",
+    "FleetJob",
+    "TopologySpec",
+    "UpdateConfig",
+    "baseline_ra",
+    "merge_legacy_strategy",
+]

@@ -14,8 +14,10 @@ the normalised compiler-side metrics.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
+from ..config import UpdateConfig, merge_legacy_strategy
 from ..diff.patcher import patched_words
 from ..energy.power_model import MICA2, PowerModel
 from ..net.dissemination import DisseminationResult, disseminate
@@ -41,7 +43,10 @@ class SessionResult:
     @property
     def per_node_energy_j(self) -> float:
         if self.nodes_patched == 0:
-            return 0.0
+            raise ValueError(
+                "per_node_energy_j is undefined for an empty fleet "
+                "(nodes_patched == 0)"
+            )
         return self.network_energy_j / self.nodes_patched
 
 
@@ -55,19 +60,45 @@ class UpdateSession:
         power: PowerModel = MICA2,
         loss: float = 0.0,
         loss_seed: int = 1,
+        config: UpdateConfig | None = None,
         **planner_kwargs,
     ):
         """``loss`` switches dissemination to the lossy NACK-repair
-        model with that per-link drop probability."""
+        model with that per-link drop probability.
+
+        ``config`` carries the planning strategy and knobs for every
+        :meth:`push_update`.  Extra ``**planner_kwargs`` (``k``,
+        ``expected_runs``, ``space_threshold``, ``energy``,
+        ``profile``) are a deprecation shim forwarded to
+        :class:`UpdatePlanner`; pass a config instead.
+        """
+        if planner_kwargs:
+            warnings.warn(
+                f"UpdateSession(**planner_kwargs) is deprecated "
+                f"(got {sorted(planner_kwargs)}); pass "
+                f"config=repro.UpdateConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.deployed = deployed
         self.topology = topology or grid(8, 8)
+        if self.topology.node_count < 2:
+            raise ValueError(
+                f"fleet has no sensor nodes to update: topology holds "
+                f"{self.topology.node_count} node(s) and node 0 is the sink"
+            )
         self.power = power
         self.loss = loss
         self.loss_seed = loss_seed
+        self.config = config if config is not None else UpdateConfig()
         self.planner_kwargs = planner_kwargs
 
     def push_update(
-        self, new_source: str, ra: str = "ucc", da: str = "ucc"
+        self,
+        new_source: str,
+        ra: str | None = None,
+        da: str | None = None,
+        config: UpdateConfig | None = None,
     ) -> SessionResult:
         """Compile, disseminate, and patch one update.
 
@@ -76,13 +107,31 @@ class UpdateSession:
         binary (any mismatch raises).  On success the session's deployed
         program advances to the new version, so successive calls model a
         long-lived maintenance campaign.
-        """
-        with trace.span("session.push_update", ra=ra, da=da, loss=self.loss):
-            return self._push_update(new_source, ra, da)
 
-    def _push_update(self, new_source: str, ra: str, da: str) -> SessionResult:
-        planner = UpdatePlanner(self.deployed, **self.planner_kwargs)
-        update = planner.plan(new_source, ra=ra, da=da)
+        Strategy comes from ``config`` (falling back to the session's
+        config); the ``ra``/``da`` string keywords are deprecation
+        shims and emit :class:`DeprecationWarning`.
+        """
+        if ra is not None or da is not None:
+            warnings.warn(
+                "the ra=/da= string flags are deprecated; pass "
+                "config=repro.UpdateConfig(ra=..., da=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        cfg = merge_legacy_strategy(
+            config if config is not None else self.config, ra=ra, da=da
+        )
+        with trace.span(
+            "session.push_update", ra=cfg.ra, da=cfg.da, loss=self.loss
+        ):
+            return self._push_update(new_source, cfg)
+
+    def _push_update(self, new_source: str, cfg: UpdateConfig) -> SessionResult:
+        planner = UpdatePlanner(
+            self.deployed, config=cfg, **self.planner_kwargs
+        )
+        update = planner.plan(new_source)
 
         if self.loss > 0.0:
             dissemination = disseminate_lossy(

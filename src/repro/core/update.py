@@ -18,8 +18,10 @@ to measure ``Diff_cycle``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
+from ..config import UpdateConfig, merge_legacy_strategy
 from ..datalayout.gcc_da import allocate_gcc_da
 from ..datalayout.layout import collect_layout_objects
 from ..datalayout.ucc_da import UCCDAReport, allocate_ucc_da
@@ -31,7 +33,6 @@ from ..energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..ir.liveness import analyze
 from ..obs import metrics, trace
 from ..regalloc.base import verify_allocation
-from ..regalloc.chunks import DEFAULT_K
 from ..regalloc.ucc_ra import UCCReport, allocate_ucc_greedy
 from ..sim.devices import DeviceBoard, Timer
 from ..sim.executor import run_image
@@ -112,31 +113,46 @@ class UpdatePlanner:
         self,
         old: CompiledProgram,
         energy: EnergyModel = DEFAULT_ENERGY_MODEL,
-        k: int = DEFAULT_K,
-        expected_runs: float = 1000.0,
-        space_threshold: int = 0,
+        k: int | None = None,
+        expected_runs: float | None = None,
+        space_threshold: int | None = None,
         profile=None,
+        config: UpdateConfig | None = None,
     ):
-        """``profile`` optionally carries a
+        """``config`` carries every planning knob (strategy selection
+        plus ``k``/``expected_runs``/``space_threshold``); the explicit
+        numeric keywords override the config's fields when given.
+
+        ``profile`` optionally carries a
         :class:`repro.sim.executor.RunResult` of the *old* binary with
         ``collect_profile=True`` (see :func:`profile_program`); its
         per-instruction execution counts then drive the paper's
         ``freq(s)`` instead of the static loop-nesting estimate."""
+        base = config if config is not None else UpdateConfig()
+        overrides = {}
+        if k is not None:
+            overrides["k"] = k
+        if expected_runs is not None:
+            overrides["expected_runs"] = expected_runs
+        if space_threshold is not None:
+            overrides["space_threshold"] = space_threshold
+        self.config = replace(base, **overrides) if overrides else base
         self.old = old
         self.energy = energy
-        self.k = k
-        self.expected_runs = expected_runs
-        self.space_threshold = space_threshold
+        self.k = self.config.k
+        self.expected_runs = self.config.expected_runs
+        self.space_threshold = self.config.space_threshold
         self.profile = profile
 
     def plan(
         self,
         new_source: str,
-        ra: str = "ucc",
-        da: str = "ucc",
+        ra: str | None = None,
+        da: str | None = None,
         cp: str | None = None,
-        verify: bool = True,
+        verify: bool | None = None,
         checked: bool | None = None,
+        config: UpdateConfig | None = None,
     ) -> UpdateResult:
         """Recompile ``new_source`` under the given strategy and diff.
 
@@ -152,22 +168,38 @@ class UpdatePlanner:
         passes over the planned update and raises
         :class:`~repro.analysis.VerificationError` on any finding;
         ``None`` inherits the old program's ``options.checked``.
-        """
-        with trace.span("update.plan", ra=ra, da=da):
-            return self._plan(new_source, ra, da, cp, verify, checked)
 
-    def _plan(
-        self,
-        new_source: str,
-        ra: str,
-        da: str,
-        cp: str | None,
-        verify: bool,
-        checked: bool | None,
-    ) -> UpdateResult:
-        if cp is None:
-            cp = "auto" if ra in ("ucc", "ucc-ilp") else "gcc"
+        The preferred calling convention is ``plan(source, config=
+        UpdateConfig(...))``; the ``ra``/``da``/``cp`` string keywords
+        are deprecation shims and emit :class:`DeprecationWarning`.
+        """
+        if ra is not None or da is not None or cp is not None:
+            warnings.warn(
+                "the ra=/da=/cp= string flags are deprecated; pass "
+                "config=repro.UpdateConfig(ra=..., da=..., cp=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is None:
+            # Fold in any direct attribute mutation (legacy pattern).
+            config = replace(
+                self.config,
+                k=self.k,
+                expected_runs=self.expected_runs,
+                space_threshold=self.space_threshold,
+            )
+        cfg = merge_legacy_strategy(
+            config, ra=ra, da=da, cp=cp, verify=verify, checked=checked
+        )
+        with trace.span("update.plan", ra=cfg.ra, da=cfg.da):
+            return self._plan(new_source, cfg)
+
+    def _plan(self, new_source: str, cfg: UpdateConfig) -> UpdateResult:
+        ra, da = cfg.ra, cfg.da
+        cp = cfg.resolved_cp()
+        verify = cfg.verify
         old = self.old
+        checked = cfg.checked
         if checked is None:
             checked = old.options.checked
         options = CompilerOptions(
@@ -199,8 +231,8 @@ class UpdatePlanner:
                         old.module.functions[name],
                         old.records[name],
                         energy=self.energy,
-                        k=self.k,
-                        expected_runs=self.expected_runs,
+                        k=cfg.k,
+                        expected_runs=cfg.expected_runs,
                         old_profile=old_profile,
                     )
                     ra_reports[name] = report
@@ -212,8 +244,8 @@ class UpdatePlanner:
                         old.module.functions[name],
                         old.records[name],
                         energy=self.energy,
-                        k=self.k,
-                        expected_runs=self.expected_runs,
+                        k=cfg.k,
+                        expected_runs=cfg.expected_runs,
                     )
                     ra_reports[name] = ilp_report.greedy
                 else:
@@ -232,7 +264,7 @@ class UpdatePlanner:
             da_report = None
             if da == "ucc":
                 layout, da_report = allocate_ucc_da(
-                    objects, old.layout, self.space_threshold
+                    objects, old.layout, cfg.space_threshold
                 )
             else:
                 layout = allocate_gcc_da(objects)
@@ -305,15 +337,16 @@ class UpdatePlanner:
             # Lazy import (see Compiler.compile).
             from ..analysis import verify_update
 
-            verify_update(result, cnt=self.expected_runs).raise_if_failed()
+            verify_update(result, cnt=cfg.expected_runs).raise_if_failed()
         return result
 
     def plan_adaptive(
         self,
         new_source: str,
         cnt: float | None = None,
-        da: str = "ucc",
+        da: str | None = None,
         energy: EnergyModel | None = None,
+        config: UpdateConfig | None = None,
     ) -> UpdateResult:
         """Plan under both UCC-RA and the baseline, measure both, and
         return whichever minimises eq. 18's total energy at execution
@@ -323,15 +356,27 @@ class UpdatePlanner:
         back to GCC-RA when [the code] is executed more than 10^7 times
         because of the diminishing energy gain."*
         """
+        if da is not None:
+            warnings.warn(
+                "the da= string flag is deprecated; pass "
+                "config=repro.UpdateConfig(da=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        base = merge_legacy_strategy(
+            config if config is not None else self.config, da=da
+        )
         cnt = self.expected_runs if cnt is None else cnt
         energy = energy or self.energy
-        saved_runs = self.expected_runs
-        self.expected_runs = cnt  # mov-insertion decisions see the same Cnt
-        try:
-            ucc = measure_cycles(self.plan(new_source, ra="ucc", da=da))
-            baseline = measure_cycles(self.plan(new_source, ra="gcc", da=da))
-        finally:
-            self.expected_runs = saved_runs
+        # Both candidate plans see the same Cnt for their mov-insertion
+        # decisions.
+        base = replace(base, expected_runs=cnt)
+        ucc = measure_cycles(
+            self.plan(new_source, config=replace(base, ra="ucc"))
+        )
+        baseline = measure_cycles(
+            self.plan(new_source, config=replace(base, ra="gcc"))
+        )
         if ucc.diff_energy(cnt, energy) <= baseline.diff_energy(cnt, energy):
             ucc.ra_strategy = "ucc-adaptive(ucc)"
             return ucc
@@ -384,21 +429,35 @@ def profile_program(
 def plan_update(
     old: CompiledProgram,
     new_source: str,
-    ra: str = "ucc",
-    da: str = "ucc",
+    ra: str | None = None,
+    da: str | None = None,
     cp: str | None = None,
     energy: EnergyModel = DEFAULT_ENERGY_MODEL,
-    k: int = DEFAULT_K,
-    expected_runs: float = 1000.0,
-    space_threshold: int = 0,
+    k: int | None = None,
+    expected_runs: float | None = None,
+    space_threshold: int | None = None,
     checked: bool | None = None,
+    config: UpdateConfig | None = None,
 ) -> UpdateResult:
-    """One-call convenience wrapper around :class:`UpdatePlanner`."""
+    """One-call convenience wrapper around :class:`UpdatePlanner`.
+
+    Prefer ``plan_update(old, source, config=UpdateConfig(...))``; the
+    ``ra``/``da``/``cp`` string keywords are deprecation shims.
+    """
+    if ra is not None or da is not None or cp is not None:
+        warnings.warn(
+            "the ra=/da=/cp= string flags are deprecated; pass "
+            "config=repro.UpdateConfig(ra=..., da=..., cp=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    cfg = merge_legacy_strategy(config, ra=ra, da=da, cp=cp, checked=checked)
     planner = UpdatePlanner(
         old,
         energy=energy,
         k=k,
         expected_runs=expected_runs,
         space_threshold=space_threshold,
+        config=cfg,
     )
-    return planner.plan(new_source, ra=ra, da=da, cp=cp, checked=checked)
+    return planner.plan(new_source)

@@ -25,8 +25,9 @@ non-empty failure list as a finding to shrink and persist.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from ..config import UpdateConfig
 from ..core.compiler import compile_source
 from ..core.update import UpdatePlanner
 from ..diff.data_diff import apply_data, DataScript
@@ -87,8 +88,22 @@ def check_pair(
     da: str = "ucc",
     expected_runs: float = 1000.0,
     baseline_ra: str = "gcc",
+    config: UpdateConfig | None = None,
 ) -> PairVerdict:
-    """Run every oracle over one update pair."""
+    """Run every oracle over one update pair.
+
+    ``config`` carries the full planning configuration (cp, checked
+    mode, knobs); when given it wins over the loose ``ra``/``da``
+    strings.  Its ``verify`` flag is forced off — the planner's own
+    assertions would raise, while the oracles below re-check those
+    properties and *report* instead.
+    """
+    cfg = (
+        config
+        if config is not None
+        else UpdateConfig(ra=ra, da=da, expected_runs=expected_runs)
+    )
+    cfg = replace(cfg, verify=False)
     verdict = PairVerdict()
 
     def fail(oracle: str, message: str) -> None:
@@ -100,11 +115,9 @@ def check_pair(
     except Exception as error:  # a generated program must always compile
         fail("plan", f"old source failed to compile: {error}")
         return verdict
-    planner = UpdatePlanner(old, expected_runs=expected_runs)
+    planner = UpdatePlanner(old, config=cfg)
     try:
-        # verify=False: the planner's own assertions would raise; the
-        # oracles below re-check those properties and *report* instead.
-        result = planner.plan(new_source, ra=ra, da=da, verify=False)
+        result = planner.plan(new_source)
     except Exception as error:
         fail("plan", f"update planning failed: {error}")
         return verdict
@@ -205,7 +218,7 @@ def check_pair(
     result.old_cycles = old_run.cycles
     result.new_cycles = incr_run.cycles
     try:
-        report = verify_update(result, cnt=expected_runs)
+        report = verify_update(result, cnt=cfg.expected_runs)
     except Exception as error:
         fail("analysis", f"verification crashed: {error}")
         return verdict

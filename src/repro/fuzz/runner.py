@@ -19,6 +19,7 @@ import hashlib
 import random
 from dataclasses import dataclass, field
 
+from ..config import UpdateConfig
 from ..obs import metrics, trace
 from ..obs.metrics import REGISTRY
 from .mutator import apply_edits, mutate
@@ -105,8 +106,17 @@ def run_fuzz(
     config: GenConfig | None = None,
     on_progress=None,
     shrink_findings: bool = True,
+    update_config: UpdateConfig | None = None,
 ) -> FuzzReport:
-    """Run one deterministic fuzz campaign."""
+    """Run one deterministic fuzz campaign.
+
+    ``update_config`` carries the full planning configuration (cp,
+    checked mode, knobs) for the oracle battery; when given it wins
+    over the loose ``ra``/``da`` strings.
+    """
+    plan_cfg = (
+        update_config if update_config is not None else UpdateConfig(ra=ra, da=da)
+    )
     report = FuzzReport(seed=seed, iterations=iters)
     hasher = hashlib.sha256()
     before = REGISTRY.values("fuzz.")
@@ -122,7 +132,7 @@ def run_fuzz(
                 )
             old_source = program.render()
             new_source = mutated.render()
-            verdict = check_pair(old_source, new_source, ra=ra, da=da)
+            verdict = check_pair(old_source, new_source, config=plan_cfg)
             span.set(ok=verdict.ok)
         metrics.counter("fuzz.iterations").inc()
         _publish_verdict(verdict)
@@ -140,8 +150,7 @@ def run_fuzz(
                 verdict,
                 seed=seed,
                 corpus_dir=corpus_dir,
-                ra=ra,
-                da=da,
+                plan_cfg=plan_cfg,
                 shrink_findings=shrink_findings,
             )
             report.findings.append(finding)
@@ -178,8 +187,7 @@ def _handle_failure(
     *,
     seed: int,
     corpus_dir: str | None,
-    ra: str,
-    da: str,
+    plan_cfg: UpdateConfig,
     shrink_findings: bool,
 ) -> FuzzFinding:
     case = FuzzCase(
@@ -193,14 +201,14 @@ def _handle_failure(
     def still_fails(reduced_program, reduced_edits) -> bool:
         old_source = reduced_program.render()
         new_source = apply_edits(reduced_program, reduced_edits).render()
-        return not check_pair(old_source, new_source, ra=ra, da=da).ok
+        return not check_pair(old_source, new_source, config=plan_cfg).ok
 
     if shrink_findings and edits:
         case = shrink(case, still_fails)
         # Re-run the oracles on the shrunk pair so the persisted
         # failure messages describe the minimal reproducer.
         old_source, new_source = case.sources()
-        case.failures = check_pair(old_source, new_source, ra=ra, da=da).failures
+        case.failures = check_pair(old_source, new_source, config=plan_cfg).failures
     finding = FuzzFinding(
         iteration=iteration,
         failures=list(case.failures),

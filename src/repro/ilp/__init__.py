@@ -1,6 +1,7 @@
 """0/1 integer programming: model builder, simplex, branch & bound."""
 
 from .branch_bound import SolveResult, SolveStats, solve_branch_bound
+from .canonical import SOLVE_CACHE, SolveCache, canonical_digest, canonical_form
 from .model import Constraint, IntegerProgram, LinTerm
 from .scipy_backend import solve_scipy
 from .simplex import LPError, LPResult, SimplexStats, solve_lp
@@ -9,6 +10,10 @@ from .solver import BACKENDS, solve
 __all__ = [
     "BACKENDS",
     "Constraint",
+    "SOLVE_CACHE",
+    "SolveCache",
+    "canonical_digest",
+    "canonical_form",
     "IntegerProgram",
     "LPError",
     "LPResult",

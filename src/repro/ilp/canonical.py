@@ -1,0 +1,168 @@
+"""Canonicalisation and content-addressed caching of integer programs.
+
+The fleet service plans many updates whose register-allocation ILPs are
+frequently *identical up to variable naming* — the same function edited
+the same way in two jobs builds the same chunk model with different
+vreg uids.  :func:`canonical_form` renders an
+:class:`~repro.ilp.model.IntegerProgram` into a name-free canonical
+text: variables become their first-use indices, constraint terms are
+sorted by variable index, and the constraints themselves are sorted by
+their canonical rendering (so build order does not matter either).
+Hashing that text gives a content address under which
+:class:`SolveCache` memoises :class:`~repro.ilp.branch_bound
+.SolveResult`s.
+
+Correctness notes:
+
+* the solver inputs that can change the *answer* — backend, node
+  limit, and the warm-start incumbent — are folded into the key, so a
+  hit is exact, never heuristic;
+* cached values are re-keyed onto the requesting problem's variable
+  names and returned as a fresh dict, so callers can mutate their
+  result without poisoning the cache;
+* statistics are replayed from the original solve (they describe the
+  work the answer *cost*, not the lookup).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from .branch_bound import SolveResult
+from .model import IntegerProgram
+
+
+def canonical_form(
+    problem: IntegerProgram,
+    backend: str = "",
+    incumbent: dict[str, int] | None = None,
+    node_limit: int = 0,
+) -> str:
+    """Name-free canonical text of a solve request."""
+    index = {name: i for i, name in enumerate(problem.variables)}
+    lines = [f"vars {len(problem.variables)}"]
+    lines.append(f"backend {backend} node_limit {node_limit}")
+    obj = sorted(
+        (index[name], coeff)
+        for name, coeff in problem.objective.items()
+        if coeff != 0.0
+    )
+    lines.append(
+        "min " + " ".join(f"{i}:{coeff!r}" for i, coeff in obj)
+        + f" + {problem.objective_constant!r}"
+    )
+    lines.append(
+        "fixed "
+        + " ".join(
+            f"{i}:{value}"
+            for i, value in sorted(
+                (index[name], value) for name, value in problem.fixed.items()
+            )
+        )
+    )
+    rendered = []
+    for constraint in problem.constraints:
+        terms = sorted((index[t.var], t.coeff) for t in constraint.terms)
+        rendered.append(
+            " ".join(f"{i}:{coeff!r}" for i, coeff in terms)
+            + f" {constraint.sense} {constraint.rhs!r}"
+        )
+    lines.extend(sorted(rendered))
+    if incumbent:
+        warm = sorted(
+            (index[name], value)
+            for name, value in incumbent.items()
+            if name in index
+        )
+        lines.append("incumbent " + " ".join(f"{i}:{v}" for i, v in warm))
+    return "\n".join(lines)
+
+
+def canonical_digest(
+    problem: IntegerProgram,
+    backend: str = "",
+    incumbent: dict[str, int] | None = None,
+    node_limit: int = 0,
+) -> str:
+    """SHA-256 content address of a solve request."""
+    form = canonical_form(
+        problem, backend=backend, incumbent=incumbent, node_limit=node_limit
+    )
+    return hashlib.sha256(form.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _CachedSolve:
+    """A solve result keyed by canonical variable index."""
+
+    status: str
+    objective: float
+    values_by_index: tuple[tuple[int, int], ...]
+    stats: object
+
+
+class SolveCache:
+    """Bounded LRU of solve results, keyed by canonical digest."""
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, _CachedSolve] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, digest: str, problem: IntegerProgram) -> SolveResult | None:
+        """The memoised result re-keyed onto ``problem``'s names."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        names = problem.variables
+        values = {names[i]: value for i, value in entry.values_by_index}
+        return SolveResult(
+            status=entry.status,
+            values=values,
+            objective=entry.objective,
+            stats=replace(entry.stats),  # type: ignore[type-var]
+        )
+
+    def put(self, digest: str, problem: IntegerProgram, result: SolveResult) -> None:
+        index = {name: i for i, name in enumerate(problem.variables)}
+        values = tuple(
+            sorted(
+                (index[name], value)
+                for name, value in result.values.items()
+                if name in index
+            )
+        )
+        self._entries[digest] = _CachedSolve(
+            status=result.status,
+            objective=result.objective,
+            values_by_index=values,
+            stats=replace(result.stats),  # type: ignore[type-var]
+        )
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+
+#: Process-wide solve cache used by :func:`repro.ilp.solver.solve`.
+SOLVE_CACHE = SolveCache()
+
+
+__all__ = [
+    "SOLVE_CACHE",
+    "SolveCache",
+    "canonical_digest",
+    "canonical_form",
+]

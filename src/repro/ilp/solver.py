@@ -4,12 +4,20 @@ Every solve is traced (``ilp.solve`` span) and publishes its effort
 into the :mod:`repro.obs` metrics registry — iterations, LP solves,
 branch-and-bound nodes — which is what ``repro profile`` and the
 Figure 14/15 benches read back out.
+
+Solves are memoised by default in a process-wide content-addressed
+cache (:mod:`repro.ilp.canonical`): identical models — up to variable
+naming and build order — return the original result without re-running
+the simplex.  The effort counters only advance on cache misses, so
+telemetry keeps describing work actually performed; hits and misses
+are counted separately (``ilp.cache.*``).
 """
 
 from __future__ import annotations
 
 from ..obs import metrics, trace
 from .branch_bound import SolveResult, solve_branch_bound
+from .canonical import SOLVE_CACHE, canonical_digest
 from .model import IntegerProgram
 from .scipy_backend import solve_scipy
 
@@ -21,6 +29,7 @@ def solve(
     backend: str = "own",
     incumbent: dict[str, int] | None = None,
     node_limit: int = 20_000,
+    cache: bool = True,
 ) -> SolveResult:
     """Solve a 0/1 integer program.
 
@@ -28,16 +37,28 @@ def solve(
     branch & bound (iteration counts available); ``backend="scipy"``
     uses HiGHS via :mod:`scipy.optimize` (fast, no pivot counts).
     ``incumbent`` warm-starts the own backend (e.g. with the
-    preferred-register greedy allocation).
+    preferred-register greedy allocation).  ``cache=False`` bypasses
+    the canonical solve cache (and leaves it untouched).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    digest = None
     with trace.span(
         "ilp.solve",
         backend=backend,
         variables=problem.num_variables,
         constraints=problem.num_constraints,
     ) as span:
+        if cache:
+            digest = canonical_digest(
+                problem, backend=backend, incumbent=incumbent, node_limit=node_limit
+            )
+            cached = SOLVE_CACHE.get(digest, problem)
+            if cached is not None:
+                span.set(status=cached.status, cached=True)
+                metrics.counter("ilp.cache.hits").inc()
+                return cached
+            metrics.counter("ilp.cache.misses").inc()
         if backend == "own":
             result = solve_branch_bound(
                 problem, incumbent=incumbent, node_limit=node_limit
@@ -45,6 +66,8 @@ def solve(
         else:
             result = solve_scipy(problem)
         span.set(status=result.status)
+    if digest is not None:
+        SOLVE_CACHE.put(digest, problem, result)
     metrics.counter("ilp.solves").inc()
     metrics.counter("ilp.simplex_iterations").inc(result.stats.simplex_iterations)
     metrics.counter("ilp.lp_solves").inc(result.stats.lp_solves)

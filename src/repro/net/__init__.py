@@ -37,7 +37,7 @@ from .dissemination import (
     ReportModel,
     disseminate,
 )
-from .topology import Topology, grid, line, random_geometric
+from .topology import Topology, build_topology, grid, line, random_geometric
 
 __all__ = [
     "DisseminationResult",
@@ -45,6 +45,7 @@ __all__ = [
     "PATCH_CYCLES_PER_BYTE",
     "ReportModel",
     "Topology",
+    "build_topology",
     "disseminate",
     "grid",
     "line",

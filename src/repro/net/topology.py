@@ -126,3 +126,27 @@ def random_geometric(
         f"could not sample a connected network of {node_count} nodes with "
         f"range {radio_range}"
     )
+
+
+def build_topology(
+    kind: str,
+    width: int = 5,
+    height: int = 5,
+    nodes: int = 8,
+    spacing: float = 1.0,
+    radio_range: float = 0.18,
+    seed: int = 42,
+) -> Topology:
+    """Materialise a topology from a declarative recipe.
+
+    The keyword surface matches :class:`repro.config.TopologySpec`,
+    which is how batch jobs describe their fleets without shipping
+    adjacency structures between processes.
+    """
+    if kind == "grid":
+        return grid(width, height, spacing)
+    if kind == "line":
+        return line(nodes, spacing)
+    if kind == "random":
+        return random_geometric(nodes, radio_range=radio_range, seed=seed)
+    raise ValueError(f"unknown topology kind {kind!r}; expected grid/line/random")

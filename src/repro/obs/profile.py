@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import UpdateConfig
 from ..core.compiler import compile_source
 from ..core.update import UpdateResult, measure_cycles, plan_update
 from ..energy.model import DEFAULT_ENERGY_MODEL
@@ -182,13 +183,19 @@ def profile_update(
     loss_seed: int = 1,
     simulate: bool = True,
     label: str = "update",
+    config: UpdateConfig | None = None,
 ) -> ProfileReport:
     """Run one traced end-to-end update and aggregate the telemetry.
 
     Resets the process-wide tracer, enables it for the duration of the
     run (restoring the previous enablement after), and reports metric
     *deltas* so back-to-back profiles do not bleed into each other.
+    ``config`` carries the full planning configuration (cp, checked
+    mode, knobs); when given it wins over the loose ``ra``/``da``
+    strings.
     """
+    cfg = config if config is not None else UpdateConfig(ra=ra, da=da)
+    ra, da = cfg.ra, cfg.da
     tracer = trace.TRACER
     was_enabled = tracer.enabled
     tracer.reset()
@@ -197,7 +204,7 @@ def profile_update(
     try:
         with trace.span("profile.total", ra=ra, da=da):
             old = compile_source(old_source)
-            result = plan_update(old, new_source, ra=ra, da=da)
+            result = plan_update(old, new_source, config=cfg)
             topology = grid(grid_side, grid_side)
             if loss > 0.0:
                 dissemination = disseminate_lossy(

@@ -69,6 +69,7 @@ def allocate_ucc_ilp(
     backend: str = "scipy",
     candidates_per_var: int = 4,
     max_model_vars: int = 6000,
+    cache: bool = True,
 ) -> tuple[AllocationRecord, ILPReport]:
     """UCC-RA with per-changed-chunk ILP refinement."""
     record, greedy_report = allocate_ucc_greedy(
@@ -112,7 +113,7 @@ def allocate_ucc_ilp(
             for a in spec.variables()
         }
         incumbent = greedy_incumbent(spec, assignment)
-        result = solve(model, backend=backend, incumbent=incumbent)
+        result = solve(model, backend=backend, incumbent=incumbent, cache=cache)
         _audit_solution(model, result)
         if result.status != "optimal":
             report.chunks.append(

@@ -1,0 +1,29 @@
+"""Fleet update service: batched, cached, process-parallel planning.
+
+Public entry points:
+
+* :class:`FleetUpdateService` — owns the caches, runs batches;
+* :func:`run_batch` — one-shot convenience wrapper;
+* :class:`~repro.config.FleetJob` (re-exported from :mod:`repro.config`)
+  — one unit of work;
+* :class:`JobOutcome` / :class:`FleetResult` — what comes back.
+"""
+
+from ..config import CompileConfig, FleetJob, TopologySpec, UpdateConfig
+from .cache import ContentCache, compile_key, source_digest
+from .fleet import FleetResult, FleetUpdateService, JobOutcome, execute_job, run_batch
+
+__all__ = [
+    "CompileConfig",
+    "ContentCache",
+    "FleetJob",
+    "FleetResult",
+    "FleetUpdateService",
+    "JobOutcome",
+    "TopologySpec",
+    "UpdateConfig",
+    "compile_key",
+    "execute_job",
+    "run_batch",
+    "source_digest",
+]

@@ -11,6 +11,7 @@ from pathlib import Path
 from repro.core import compile_source, measure_cycles, plan_update
 from repro.energy import DEFAULT_ENERGY_MODEL
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 ENERGY_CASES = ["1", "4", "6", "8", "12"]
 ENERGY_CNT = 1000.0
@@ -24,7 +25,7 @@ def main() -> None:
         old = compile_source(case.old_source)
         entry = {}
         for ra, da in (("gcc", "gcc"), ("ucc", "ucc")):
-            result = plan_update(old, case.new_source, ra=ra, da=da)
+            result = plan_update(old, case.new_source, config=UpdateConfig(ra=ra, da=da))
             entry[f"{ra}/{da}"] = {
                 "diff_inst": result.diff_inst,
                 "script_bytes": result.script_bytes,
@@ -37,10 +38,10 @@ def main() -> None:
         case = CASES[cid]
         old = compile_source(case.old_source)
         gcc = measure_cycles(
-            plan_update(old, case.new_source, ra="gcc", da="ucc")
+            plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="ucc"))
         )
         ucc = measure_cycles(
-            plan_update(old, case.new_source, ra="ucc", da="ucc")
+            plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         )
         ratio = ucc.diff_energy(ENERGY_CNT, DEFAULT_ENERGY_MODEL) / gcc.diff_energy(
             ENERGY_CNT, DEFAULT_ENERGY_MODEL

@@ -27,6 +27,7 @@ from repro.ilp.model import IntegerProgram
 from repro.ir import build_cfg, build_ir
 from repro.lang import frontend
 from repro.workloads import CASES, RA_CASE_IDS
+from repro.config import UpdateConfig
 
 
 def lower_fn(source, name="f"):
@@ -170,7 +171,7 @@ class TestReportPlumbing:
 @pytest.mark.parametrize("case_id", RA_CASE_IDS)
 def test_all_paper_cases_verify_clean(compiled_case_olds, case_id, ra):
     case = CASES[case_id]
-    result = plan_update(compiled_case_olds[case_id], case.new_source, ra=ra)
+    result = plan_update(compiled_case_olds[case_id], case.new_source, config=UpdateConfig(ra=ra))
     report = verify_update(result)
     assert report.ok, report.render()
     assert set(report.passes_run) == {

@@ -1,0 +1,61 @@
+"""The pinned API surface (`tools/check_api.py`).
+
+The snapshot gate must pass on the checked-in tree, and it must fail
+when the snapshot disagrees with the live surface — otherwise CI's
+"docs" job is a no-op.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECK_API = REPO / "tools" / "check_api.py"
+SNAPSHOT = REPO / "tools" / "api_surface.txt"
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, str(CHECK_API), *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_surface_matches_snapshot():
+    proc = _run()
+    assert proc.returncode == 0, proc.stderr
+    assert "surface matches snapshot" in proc.stdout
+
+
+def test_snapshot_is_checked_in_and_regenerable():
+    assert SNAPSHOT.exists()
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_api
+    finally:
+        sys.path.pop(0)
+    assert check_api.render_surface() == SNAPSHOT.read_text(encoding="utf-8")
+
+
+def test_drift_is_detected():
+    """A surface/snapshot mismatch must produce a diff, not a pass."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_api
+    finally:
+        sys.path.pop(0)
+    rendered = check_api.render_surface()
+    doctored = rendered.replace("def plan_update", "def plan_updates")
+    assert doctored != rendered
+    # The gate's comparison is plain string equality on the rendering,
+    # so any drift in a signature line fails the build.
+    assert doctored != SNAPSHOT.read_text(encoding="utf-8")
+
+
+def test_snapshot_covers_every_public_name():
+    import repro.api as api
+
+    text = SNAPSHOT.read_text(encoding="utf-8")
+    for name in api.__all__:
+        assert name in text, f"{name} missing from tools/api_surface.txt"

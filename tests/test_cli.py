@@ -96,6 +96,60 @@ class TestCaseCommand:
         assert main(["case", "nope"]) == 2
 
 
+class TestBatchCommand:
+    @pytest.fixture()
+    def jobs_file(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            '{"workers": 1, "jobs": ['
+            '{"case": "1", "grid": [3, 3]},'
+            '{"case": "6", "ra": "gcc", "da": "gcc"}'
+            "]}"
+        )
+        return str(path)
+
+    def test_batch_runs_case_jobs(self, jobs_file, capsys):
+        assert main(["batch", jobs_file, "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet batch: 2 jobs" in out
+        assert "case1" in out and "case6" in out
+        assert "gcc/gcc" in out
+
+    def test_batch_file_jobs(self, source_file, edited_file, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            f'[{{"old": "{source_file}", "new": "{edited_file}", "id": "blink"}}]'
+        )
+        assert main(["batch", str(path), "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "blink" in out and "ok" in out
+
+    def test_batch_repeat_hits_the_cache(self, jobs_file, capsys):
+        assert main(["batch", jobs_file, "--serial", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=cached" in out
+        assert "hit rate 100%" in out
+
+    def test_batch_unknown_case_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text('[{"case": "nope"}]')
+        assert main(["batch", str(path)]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+    def test_batch_empty_file_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text("[]")
+        assert main(["batch", str(path)]) == 2
+
+    def test_batch_failing_job_sets_exit_status(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("this is not a program")
+        path = tmp_path / "jobs.json"
+        path.write_text(f'[{{"old": "{bad}", "new": "{bad}"}}]')
+        assert main(["batch", str(path), "--serial"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestVerifyCommand:
     def test_verify_files(self, source_file, edited_file, capsys):
         assert main(["verify", source_file, edited_file]) == 0

@@ -1,0 +1,114 @@
+"""The legacy-kwarg deprecation shims.
+
+Every legacy spelling must (a) emit :class:`DeprecationWarning` and
+(b) produce results *identical* to the typed-config form — migration
+must never change behaviour.  The tier-1 suite itself runs clean under
+``-W error::DeprecationWarning``; these are the only tests that invoke
+the legacy forms on purpose.
+"""
+
+import warnings
+
+import pytest
+
+from repro.config import UpdateConfig
+from repro.core.compiler import Compiler
+from repro.core.session import UpdateSession
+from repro.core.update import UpdatePlanner, plan_update
+from repro.net.topology import grid
+from repro.workloads import CASES
+
+CASE = CASES["6"]
+
+
+@pytest.fixture(scope="module")
+def old():
+    return Compiler().compile(CASE.old_source)
+
+
+def _same_plan(legacy, typed):
+    assert legacy.diff_inst == typed.diff_inst
+    assert legacy.script_bytes == typed.script_bytes
+    assert legacy.packets.packet_count == typed.packets.packet_count
+    assert legacy.diff.script.render() == typed.diff.script.render()
+    assert legacy.new.image.words() == typed.new.image.words()
+
+
+class TestPlanUpdateShim:
+    def test_ra_da_kwargs_warn(self, old):
+        with pytest.warns(DeprecationWarning, match="ra=/da=/cp="):
+            plan_update(old, CASE.new_source, ra="ucc", da="ucc")
+
+    def test_legacy_equals_typed(self, old):
+        with pytest.warns(DeprecationWarning):
+            legacy = plan_update(old, CASE.new_source, ra="ucc", da="gcc")
+        typed = plan_update(
+            old, CASE.new_source, config=UpdateConfig(ra="ucc", da="gcc")
+        )
+        _same_plan(legacy, typed)
+
+    def test_cp_kwarg_warns_and_matches(self, old):
+        with pytest.warns(DeprecationWarning):
+            legacy = plan_update(old, CASE.new_source, ra="ucc", cp="ucc")
+        typed = plan_update(
+            old, CASE.new_source, config=UpdateConfig(ra="ucc", cp="ucc")
+        )
+        _same_plan(legacy, typed)
+
+    def test_typed_form_does_not_warn(self, old):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            plan_update(old, CASE.new_source, config=UpdateConfig())
+
+
+class TestPlannerShim:
+    def test_plan_kwargs_warn_and_match(self, old):
+        planner = UpdatePlanner(old)
+        with pytest.warns(DeprecationWarning, match="ra=/da=/cp="):
+            legacy = planner.plan(CASE.new_source, ra="gcc", da="gcc")
+        typed = UpdatePlanner(old, config=UpdateConfig(ra="gcc", da="gcc")).plan(
+            CASE.new_source
+        )
+        _same_plan(legacy, typed)
+
+    def test_explicit_legacy_flag_overrides_config(self, old):
+        # Mixed call: the explicit string flag wins over the config field.
+        planner = UpdatePlanner(old, config=UpdateConfig(ra="ucc", da="ucc"))
+        with pytest.warns(DeprecationWarning):
+            legacy = planner.plan(CASE.new_source, ra="gcc")
+        typed = UpdatePlanner(old, config=UpdateConfig(ra="gcc", da="ucc")).plan(
+            CASE.new_source
+        )
+        _same_plan(legacy, typed)
+
+
+class TestSessionShim:
+    def test_planner_kwargs_warn_on_construction(self, old):
+        with pytest.warns(DeprecationWarning, match="planner_kwargs"):
+            UpdateSession(old, topology=grid(3, 3), expected_runs=50.0)
+
+    def test_push_update_kwargs_warn_and_match(self, old):
+        legacy_session = UpdateSession(old, topology=grid(3, 3))
+        with pytest.warns(DeprecationWarning, match="ra=/da="):
+            legacy = legacy_session.push_update(CASE.new_source, ra="ucc", da="ucc")
+
+        typed_session = UpdateSession(
+            old, topology=grid(3, 3), config=UpdateConfig(ra="ucc", da="ucc")
+        )
+        typed = typed_session.push_update(CASE.new_source)
+
+        _same_plan(legacy.update, typed.update)
+        assert legacy.nodes_patched == typed.nodes_patched
+        assert legacy.network_energy_j == typed.network_energy_j
+
+    def test_typed_session_does_not_warn(self, old):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = UpdateSession(
+                old, topology=grid(3, 3), config=UpdateConfig(ra="ucc")
+            )
+            session.push_update(CASE.new_source)
+
+    def test_empty_fleet_rejected_at_construction(self, old):
+        with pytest.raises(ValueError, match="no sensor nodes"):
+            UpdateSession(old, topology=grid(1, 1))

@@ -14,6 +14,7 @@ from repro.diff.edit_script import MAX_RUN, EditScript, PrimOp, Primitive
 from repro.diff.packets import Packetisation
 from repro.diff.patcher import patched_words, verify_patch
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 # ---------------------------------------------------------------------------
 # Packetisation
@@ -180,7 +181,7 @@ class TestPatcherProperties:
         ra, da = strategy
         case = CASES[cid]
         old = compile_source(case.old_source)
-        result = plan_update(old, case.new_source, ra=ra, da=da)
+        result = plan_update(old, case.new_source, config=UpdateConfig(ra=ra, da=da))
         verify_patch(old.image, result.new.image, result.diff.script)
         first = patched_words(old.image, result.diff.script)
         assert first == result.new.image.words()

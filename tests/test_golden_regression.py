@@ -20,6 +20,7 @@ import pytest
 from repro.core import measure_cycles, plan_update
 from repro.energy import DEFAULT_ENERGY_MODEL
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 GOLDEN = Path(__file__).parent / "golden"
 SCRIPTS = json.loads((GOLDEN / "fig09_scripts.json").read_text())
@@ -37,7 +38,7 @@ def test_goldens_cover_every_case():
 def test_fig09_script_sizes_pinned(cid, strategy, compiled_case_olds):
     ra, da = strategy.split("/")
     case = CASES[cid]
-    result = plan_update(compiled_case_olds[cid], case.new_source, ra=ra, da=da)
+    result = plan_update(compiled_case_olds[cid], case.new_source, config=UpdateConfig(ra=ra, da=da))
     expected = SCRIPTS[cid][strategy]
     got = {
         "diff_inst": result.diff_inst,
@@ -55,8 +56,8 @@ def test_fig12_energy_ratio_pinned(cid, compiled_case_olds):
     case = CASES[cid]
     old = compiled_case_olds[cid]
     cnt = ENERGY[cid]["cnt"]
-    gcc = measure_cycles(plan_update(old, case.new_source, ra="gcc", da="ucc"))
-    ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+    gcc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="ucc")))
+    ucc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc")))
     ratio = ucc.diff_energy(cnt, DEFAULT_ENERGY_MODEL) / gcc.diff_energy(
         cnt, DEFAULT_ENERGY_MODEL
     )

@@ -19,6 +19,7 @@ from repro.regalloc import (
 from repro.regalloc.chunks import changed_indices
 from repro.regalloc.ilp_model import THETA, greedy_incumbent
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 def chunk_fixture(case_id="6", fname="tosh_run_next_task", candidates=3):
@@ -115,8 +116,8 @@ class TestILPAllocator:
         old = compile_source(case.old_source)
         from repro.core import plan_update
 
-        greedy = plan_update(old, case.new_source, ra="ucc", da="ucc")
-        ilp = plan_update(old, case.new_source, ra="ucc-ilp", da="ucc")
+        greedy = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
+        ilp = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc-ilp", da="ucc"))
         assert ilp.diff_inst <= greedy.diff_inst + 2  # ties allowed
 
     def test_stats_recorded_per_chunk(self):

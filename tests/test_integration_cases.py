@@ -15,6 +15,7 @@ from repro.core import measure_cycles, plan_update
 from repro.diff.patcher import patched_words
 from repro.sim import DeviceBoard, Timer, run_image
 from repro.workloads import CASES, RA_CASE_IDS
+from repro.config import UpdateConfig
 
 ALL_IDS = sorted(CASES)
 
@@ -25,14 +26,14 @@ class TestEveryCase:
         case = CASES[case_id]
         old = compiled_case_olds[case_id]
         for ra, da in (("gcc", "gcc"), ("ucc", "ucc")):
-            result = plan_update(old, case.new_source, ra=ra, da=da)
+            result = plan_update(old, case.new_source, config=UpdateConfig(ra=ra, da=da))
             assert patched_words(old.image, result.diff.script) == result.new.image.words()
 
     def test_ucc_diff_not_worse(self, case_id, compiled_case_olds):
         case = CASES[case_id]
         old = compiled_case_olds[case_id]
-        baseline = plan_update(old, case.new_source, ra="gcc", da="gcc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst <= baseline.diff_inst
 
     def test_updated_binary_equivalent_to_fresh(self, case_id, compiled_case_olds):
@@ -44,7 +45,7 @@ class TestEveryCase:
 
         case = CASES[case_id]
         old = compiled_case_olds[case_id]
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         fresh = compile_source(case.new_source)
 
         def observe(image):
@@ -77,8 +78,8 @@ class TestPaperShapes:
         (paper: GCC reuses 422 of 4351; UCC reuses ~15% more)."""
         case = CASES["13"]
         old = compiled_case_olds["13"]
-        baseline = plan_update(old, case.new_source, ra="gcc", da="gcc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst > 0.45 * ucc.diff.new_instructions
         assert ucc.reused_instructions >= baseline.reused_instructions
         assert ucc.reused_instructions > 0
@@ -88,8 +89,8 @@ class TestPaperShapes:
         under UCC-DA (paper §5.7: ~10% of instructions changed)."""
         case = CASES["D1"]
         old = compiled_case_olds["D1"]
-        baseline = plan_update(old, case.new_source, ra="ucc", da="gcc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="gcc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst < baseline.diff_inst
         moved_gcc = baseline.new.layout.moved_objects(old.layout)
         moved_ucc = ucc.new.layout.moved_objects(old.layout)
@@ -100,8 +101,8 @@ class TestPaperShapes:
         deleted slots, so almost nothing changes."""
         case = CASES["D2"]
         old = compiled_case_olds["D2"]
-        baseline = plan_update(old, case.new_source, ra="ucc", da="gcc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="gcc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst <= 2
         assert baseline.diff_inst > ucc.diff_inst
 
@@ -111,9 +112,9 @@ class TestPaperShapes:
             case = CASES[cid]
             old = compiled_case_olds[cid]
             baseline = measure_cycles(
-                plan_update(old, case.new_source, ra="gcc", da="gcc")
+                plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
             )
-            ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+            ucc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc")))
             slowdown = ucc.new_cycles - baseline.new_cycles
             assert abs(slowdown) <= max(10, 0.01 * baseline.new_cycles), cid
 
@@ -134,7 +135,5 @@ class TestCheckedPipeline:
 
     def test_checked_plan_with_ilp_allocator(self, compiled_case_olds):
         case = CASES["4"]
-        result = plan_update(
-            compiled_case_olds["4"], case.new_source, ra="ucc-ilp", checked=True
-        )
+        result = plan_update(compiled_case_olds["4"], case.new_source, checked=True, config=UpdateConfig(ra="ucc-ilp"))
         assert result.new.options.checked

@@ -10,6 +10,7 @@ import pytest
 from repro.core import compile_source, measure_cycles, plan_update
 from repro.energy import DEFAULT_ENERGY_MODEL, MICA2
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 class TestSection1:
@@ -26,7 +27,7 @@ class TestSection1:
         changes in the final binary.'"""
         case = CASES["4"]  # one-token change: `+ 1` -> `+ stride`
         old = compile_source(case.old_source)
-        baseline = plan_update(old, case.new_source, ra="gcc", da="gcc")
+        baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
         # the semantic change is ~2 instructions; the baseline re-encodes more
         assert baseline.diff_inst >= 4
 
@@ -99,7 +100,7 @@ class TestSection3:
             "    u8 b = g & 3;\n", "    u8 b = g & 3;\n    g = g + a;\n"
         )
         old = compile_source(old_src)
-        result = plan_update(old, new_src, ra="ucc", expected_runs=1.0)
+        result = plan_update(old, new_src, config=UpdateConfig(ra="ucc", expected_runs=1.0))
         assert result.moves_inserted() == 1
         placement = result.new.records["f"].placements["f.b"]
         assert len(placement.pieces) == 2  # split live range
@@ -147,8 +148,8 @@ class TestSection5:
         for cid in ("4", "8", "12", "13", "D1", "D2"):
             case = CASES[cid]
             old = compile_source(case.old_source)
-            baseline = plan_update(old, case.new_source, ra="gcc", da="gcc")
-            ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+            baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+            ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
             assert ucc.diff_inst <= baseline.diff_inst, cid
 
     def test_same_code_quality_in_most_cases(self):
@@ -160,9 +161,9 @@ class TestSection5:
             case = CASES[cid]
             old = compile_source(case.old_source)
             baseline = measure_cycles(
-                plan_update(old, case.new_source, ra="gcc", da="ucc")
+                plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="ucc"))
             )
-            ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+            ucc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc")))
             checked += 1
             ties += ucc.new_cycles == baseline.new_cycles
         assert ties >= checked - 1
@@ -179,7 +180,7 @@ class TestSection5:
             "    u8 b = g & 3;\n", "    u8 b = g & 3;\n    g = g + a;\n"
         )
         old = compile_source(old_src)
-        huge = plan_update(old, new_src, ra="ucc", expected_runs=1e9)
+        huge = plan_update(old, new_src, config=UpdateConfig(ra="ucc", expected_runs=1e9))
         assert huge.moves_inserted() == 0
 
     def test_gcc_layout_keyed_by_names_not_order(self):
@@ -203,7 +204,7 @@ class TestSection5:
         space of a deleted variable.'"""
         case = CASES["D2"]
         old = compile_source(case.old_source)
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst == 0
 
     def test_ilp_decisions_match_minlp(self):

@@ -12,6 +12,7 @@ from repro.codegen.placement import (
 from repro.core import Compiler, CompilerOptions, compile_source, plan_update
 from repro.isa.instructions import MachineInstr
 from repro.sim import run_image
+from repro.config import UpdateConfig
 
 
 class TestPlans:
@@ -96,8 +97,8 @@ class TestEndToEnd:
         never worse and predecessors never move."""
         old = compile_source(self.SRC)
         new_src = self.SRC.replace("g = g + 3;", "g = g + 3; g = g ^ 9; led_set(g);")
-        ucc = plan_update(old, new_src, ra="ucc", da="ucc", cp="ucc")
-        baseline = plan_update(old, new_src, ra="ucc", da="ucc", cp="gcc")
+        ucc = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc", cp="ucc"))
+        baseline = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc", cp="gcc"))
         assert ucc.diff_inst <= baseline.diff_inst
         stable = ucc.new.placement.stable_functions(old.placement)
         assert {"first", "second", "third"} <= set(stable)
@@ -109,9 +110,9 @@ class TestEndToEnd:
         the call graph — the auto mode must pick the cheaper one."""
         old = compile_source(self.SRC)
         new_src = self.SRC.replace("void first() { g = g + 1; }", "void first() { }")
-        padded = plan_update(old, new_src, ra="ucc", da="ucc", cp="ucc")
-        shifted = plan_update(old, new_src, ra="ucc", da="ucc", cp="gcc")
-        auto = plan_update(old, new_src, ra="ucc", da="ucc")  # cp=auto
+        padded = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc", cp="ucc"))
+        shifted = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc", cp="gcc"))
+        auto = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc"))  # cp=auto
         stable = set(padded.new.placement.stable_functions(old.placement))
         assert {"first", "second", "third", "main"} <= stable
         assert padded.new.placement.total_padding > 0
@@ -152,7 +153,7 @@ class TestEndToEnd:
         options = CompilerOptions(placement_headroom=8)
         old = Compiler(options).compile(self.SRC)
         new_src = self.SRC.replace("g = g + 2;", "g = g + 2; g = g | 1;")
-        result = plan_update(old, new_src, ra="ucc", da="ucc")
+        result = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc"))
         # growth absorbed by headroom: every function keeps its address
         stable = result.new.placement.stable_functions(old.placement)
         assert set(stable) == {"first", "second", "third", "main"}

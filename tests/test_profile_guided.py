@@ -1,6 +1,7 @@
 """Profile-guided update planning (paper §2.1's execution profiles)."""
 
 
+from repro.config import UpdateConfig
 from repro.core import UpdatePlanner, compile_source, plan_update, profile_program
 from repro.workloads import CASES
 
@@ -61,13 +62,14 @@ class TestProfileGuidedPlanning:
         old = compile_source(old_src)
         # Static estimate: f's body has frequency 1 (no loop inside f),
         # so at expected_runs=1 the mov is inserted.
-        static = plan_update(old, new_src, ra="ucc", expected_runs=1.0)
+        static = plan_update(
+            old, new_src, config=UpdateConfig(ra="ucc", expected_runs=1.0)
+        )
         assert static.moves_inserted() == 1
         # The profile knows f runs 400 times per run of the program: the
         # mov executes 400x per run, making it 400x more expensive.
         profile = profile_program(old)
-        hot = UpdatePlanner(old, expected_runs=50.0, profile=profile).plan(
-            new_src, ra="ucc"
-        )
-        cold = UpdatePlanner(old, expected_runs=50.0).plan(new_src, ra="ucc")
+        hot_config = UpdateConfig(ra="ucc", expected_runs=50.0)
+        hot = UpdatePlanner(old, profile=profile, config=hot_config).plan(new_src)
+        cold = UpdatePlanner(old, config=hot_config).plan(new_src)
         assert cold.moves_inserted() >= hot.moves_inserted()

@@ -11,6 +11,7 @@ from repro.datalayout import (
 from repro.diff.patcher import patched_words
 from repro.ir import analyze, build_ir
 from repro.lang import frontend
+from repro.config import UpdateConfig
 from repro.regalloc import (
     allocate_graph_coloring,
     allocate_linear_scan,
@@ -134,7 +135,7 @@ class TestUpdateProperties:
         new_src = _program_source(3, 8, seed_new)
         old = compile_source(old_src)
         for ra in ("gcc", "ucc"):
-            result = plan_update(old, new_src, ra=ra, da="ucc")
+            result = plan_update(old, new_src, config=UpdateConfig(ra=ra, da="ucc"))
             assert (
                 patched_words(old.image, result.diff.script)
                 == result.new.image.words()
@@ -145,6 +146,6 @@ class TestUpdateProperties:
     def test_self_update_is_free(self, seed):
         source = _program_source(3, 10, seed)
         old = compile_source(source)
-        result = plan_update(old, source, ra="ucc", da="ucc")
+        result = plan_update(old, source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert result.diff_inst == 0
         assert result.data_script.is_empty

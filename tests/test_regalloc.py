@@ -6,6 +6,7 @@ from repro.core import Compiler, CompilerOptions, compile_source
 from repro.ir import analyze, build_ir
 from repro.isa import registers as regs
 from repro.lang import frontend
+from repro.config import UpdateConfig
 from repro.regalloc import (
     AllocationError,
     Placement,
@@ -272,8 +273,8 @@ class TestUCCGreedy:
         from repro.core import plan_update
 
         old = compile_source(self.FIG4_OLD)
-        with_mov = plan_update(old, self.FIG4_NEW, ra="ucc", expected_runs=1.0)
-        without = plan_update(old, self.FIG4_NEW, ra="ucc", expected_runs=1e9)
+        with_mov = plan_update(old, self.FIG4_NEW, config=UpdateConfig(ra="ucc", expected_runs=1.0))
+        without = plan_update(old, self.FIG4_NEW, config=UpdateConfig(ra="ucc", expected_runs=1e9))
         assert with_mov.moves_inserted() == 1
         assert without.moves_inserted() == 0
         assert with_mov.diff_inst < without.diff_inst

@@ -15,13 +15,14 @@ from repro.diff.groups import (
 )
 from repro.diff.patcher import PatchError
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 @pytest.fixture(scope="module")
 def update_pair():
     case = CASES["6"]
     old = compile_source(case.old_source)
-    result = plan_update(old, case.new_source, ra="ucc", da="ucc")
+    result = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
     return old, result
 
 

@@ -3,6 +3,7 @@
 from repro.core import UpdateSession, compile_source
 from repro.net import grid, line
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 class TestUpdateSession:
@@ -38,8 +39,8 @@ class TestUpdateSession:
         topo = grid(5, 5)
         ucc_session = UpdateSession(compiled_case_olds["D1"], topology=topo)
         base_session = UpdateSession(compiled_case_olds["D1"], topology=topo)
-        ucc = ucc_session.push_update(case.new_source, ra="ucc", da="ucc")
-        base = base_session.push_update(case.new_source, ra="gcc", da="gcc")
+        ucc = ucc_session.push_update(case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
+        base = base_session.push_update(case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
         assert ucc.network_energy_j < base.network_energy_j
 
     def test_self_update_costs_almost_nothing(self, simple_program, simple_source):

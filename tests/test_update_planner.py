@@ -5,17 +5,18 @@ import pytest
 from repro.core import compile_source, measure_cycles, plan_update
 from repro.diff.patcher import patched_words
 from repro.workloads import CASES
+from repro.config import UpdateConfig
 
 
 class TestSelfUpdate:
     def test_identical_source_yields_empty_diff(self, simple_program, simple_source):
-        result = plan_update(simple_program, simple_source, ra="ucc", da="ucc")
+        result = plan_update(simple_program, simple_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert result.diff_inst == 0
         assert result.diff.script.is_empty
         assert result.reused_instructions == result.diff.new_instructions
 
     def test_identical_source_zero_cycle_change(self, simple_program, simple_source):
-        result = plan_update(simple_program, simple_source, ra="ucc", da="ucc")
+        result = plan_update(simple_program, simple_source, config=UpdateConfig(ra="ucc", da="ucc"))
         measure_cycles(result)
         assert result.diff_cycle == 0
 
@@ -30,21 +31,21 @@ class TestStrategies:
         old, case = case6
         for ra in ("gcc", "linear", "ucc", "ucc-ilp"):
             for da in ("gcc", "ucc"):
-                result = plan_update(old, case.new_source, ra=ra, da=da)
+                result = plan_update(old, case.new_source, config=UpdateConfig(ra=ra, da=da))
                 rebuilt = patched_words(old.image, result.diff.script)
                 assert rebuilt == result.new.image.words()
 
     def test_ucc_not_worse_than_baseline(self, case6):
         old, case = case6
-        baseline = plan_update(old, case.new_source, ra="gcc", da="gcc")
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        baseline = plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst <= baseline.diff_inst
 
     def test_new_function_falls_back_to_baseline(self, compiled_case_olds):
         # case 9 adds a brand-new function 'saturate'
         case = CASES["9"]
         old = compiled_case_olds["9"]
-        result = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        result = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert "saturate" in result.new.module.functions
         assert "saturate" not in result.ra_reports  # no old decisions
 
@@ -55,7 +56,7 @@ class TestStrategies:
 
         case = CASES["1"]
         old = compiled_case_olds["1"]
-        ucc = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        ucc = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         fresh = compile_source(case.new_source)
         board = lambda: DeviceBoard(timer=Timer(period_cycles=400))  # noqa: E731
         run_ucc = run_image(ucc.new.image, devices=board())
@@ -65,7 +66,7 @@ class TestStrategies:
 
     def test_diff_metrics_consistent(self, case6):
         old, case = case6
-        result = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        result = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert result.diff_words >= result.diff_inst  # words >= instrs
         assert result.script_bytes >= 2 * result.diff_words  # header bytes
         assert (
@@ -75,7 +76,7 @@ class TestStrategies:
 
     def test_packets_track_script_size(self, case6):
         old, case = case6
-        result = plan_update(old, case.new_source, ra="ucc", da="ucc")
+        result = plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert result.packets.script_bytes == result.script_bytes
         assert result.packets.packet_count >= 1
 
@@ -90,8 +91,8 @@ class TestEnergyAccounting:
     def test_energy_savings_positive_when_ucc_smaller(self, compiled_case_olds):
         case = CASES["13"]
         old = compiled_case_olds["13"]
-        baseline = measure_cycles(plan_update(old, case.new_source, ra="gcc", da="gcc"))
-        ucc = measure_cycles(plan_update(old, case.new_source, ra="ucc", da="ucc"))
+        baseline = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="gcc", da="gcc")))
+        ucc = measure_cycles(plan_update(old, case.new_source, config=UpdateConfig(ra="ucc", da="ucc")))
         if ucc.diff_words < baseline.diff_words:
             cnt = 10.0
             assert baseline.diff_energy(cnt) > ucc.diff_energy(cnt)
@@ -101,8 +102,8 @@ class TestExpectedRunsKnob:
     def test_expected_runs_forwarded(self, compiled_case_olds):
         case = CASES["6"]
         old = compiled_case_olds["6"]
-        small = plan_update(old, case.new_source, expected_runs=1.0)
-        huge = plan_update(old, case.new_source, expected_runs=1e9)
+        small = plan_update(old, case.new_source, config=UpdateConfig(expected_runs=1.0))
+        huge = plan_update(old, case.new_source, config=UpdateConfig(expected_runs=1e9))
         # With huge Cnt, move insertion is disabled (paper §5.5): the
         # planner must never insert *more* moves than at small Cnt.
         assert huge.moves_inserted() <= small.moves_inserted()

@@ -7,6 +7,7 @@ from repro.diff.patcher import patched_words
 from repro.ir import run_ir
 from repro.sim import DeviceBoard, Timer, run_image
 from repro.workloads.extra import EXTRA_PROGRAMS, SURGE
+from repro.config import UpdateConfig
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +55,7 @@ class TestSurge:
     def test_update_round_trips(self, compiled_extra):
         old = compiled_extra["Surge"]
         new_source = SURGE.replace("u8 parent_id = 1;", "u8 parent_id = 2;")
-        result = plan_update(old, new_source, ra="ucc", da="ucc")
+        result = plan_update(old, new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert patched_words(old.image, result.diff.script) == result.new.image.words()
         # a data-only change: the parent id lives in the data segment
         assert result.data_script_bytes > 0
@@ -69,8 +70,8 @@ class TestSurge:
             "    if (queue_full()) {\n        return;  // drop on overflow, like the real Surge\n    }",
             "    if (queue_full()) {\n        drops = drops + 1;\n        return;\n    }",
         )
-        baseline = plan_update(old, new_source, ra="gcc", da="gcc")
-        ucc = plan_update(old, new_source, ra="ucc", da="ucc")
+        baseline = plan_update(old, new_source, config=UpdateConfig(ra="gcc", da="gcc"))
+        ucc = plan_update(old, new_source, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst <= baseline.diff_inst
         assert ucc.diff_inst < 0.25 * ucc.diff.new_instructions
 
@@ -107,7 +108,7 @@ class TestExtendedCases:
         _desc, old_src, new_src = EXTRA_CASES[case_id]
         old = compile_source(old_src)
         for ra, da in (("gcc", "gcc"), ("ucc", "ucc")):
-            result = plan_update(old, new_src, ra=ra, da=da)
+            result = plan_update(old, new_src, config=UpdateConfig(ra=ra, da=da))
             assert (
                 patched_words(old.image, result.diff.script)
                 == result.new.image.words()
@@ -119,8 +120,8 @@ class TestExtendedCases:
 
         _desc, old_src, new_src = EXTRA_CASES[case_id]
         old = compile_source(old_src)
-        baseline = plan_update(old, new_src, ra="gcc", da="gcc")
-        ucc = plan_update(old, new_src, ra="ucc", da="ucc")
+        baseline = plan_update(old, new_src, config=UpdateConfig(ra="gcc", da="gcc"))
+        ucc = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc"))
         assert ucc.diff_inst <= baseline.diff_inst
 
     def test_e1_is_pure_data_update(self):
@@ -128,7 +129,7 @@ class TestExtendedCases:
 
         _desc, old_src, new_src = EXTRA_CASES["E1"]
         old = compile_source(old_src)
-        result = plan_update(old, new_src, ra="ucc", da="ucc")
+        result = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc"))
         assert result.diff_inst == 0
         assert result.data_script_bytes > 0
 
@@ -137,7 +138,7 @@ class TestExtendedCases:
 
         _desc, old_src, new_src = EXTRA_CASES["E3"]
         old = compile_source(old_src)
-        result = plan_update(old, new_src, ra="ucc", da="ucc")
+        result = plan_update(old, new_src, config=UpdateConfig(ra="ucc", da="ucc"))
         board = DeviceBoard(timer=Timer(period_cycles=300))
         run_image(result.new.image, devices=board, max_cycles=20_000_000)
         assert 0xFEED in board.radio.sent

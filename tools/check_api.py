@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Public-API gate for CI (the ``docs`` job).
+
+Renders the surface of :mod:`repro.api` — every ``__all__`` member with
+its signature (functions) or field list (dataclasses) — and diffs it
+against the checked-in snapshot ``tools/api_surface.txt``.  Any drift
+fails the build: adding, removing, or re-typing a public name requires
+regenerating the snapshot (``python tools/check_api.py --update``) in
+the same change, which makes API evolution reviewable instead of
+accidental.
+
+The rendering is deliberately stable across supported Pythons
+(3.9-3.11): annotations are taken as *strings* (PEP 563 — ``repro.api``
+uses ``from __future__ import annotations``) and dataclass fields are
+rendered from the raw class annotations, so the snapshot does not
+depend on how a given interpreter version stringifies typing objects.
+
+Exit status: 0 on a clean match, 1 on drift (unified diff on stderr).
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+import sys
+from dataclasses import MISSING, fields, is_dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "tools" / "api_surface.txt"
+
+
+def _field_default(field) -> str:
+    if field.default is not MISSING:
+        return f" = {field.default!r}"
+    if field.default_factory is not MISSING:  # type: ignore[misc]
+        return f" = {field.default_factory.__name__}()"
+    return ""
+
+
+def _render_dataclass(name: str, cls) -> list[str]:
+    lines = [f"class {name}:"]
+    raw = {}
+    for klass in reversed(cls.__mro__):
+        raw.update(getattr(klass, "__annotations__", {}))
+    for field in fields(cls):
+        annotation = raw.get(field.name, "?")
+        if not isinstance(annotation, str):
+            annotation = getattr(annotation, "__name__", repr(annotation))
+        lines.append(f"    {field.name}: {annotation}{_field_default(field)}")
+    return lines
+
+
+def _render_function(name: str, obj) -> list[str]:
+    signature = inspect.signature(obj)
+    return [f"def {name}{signature}"]
+
+
+def _render_class(name: str, cls) -> list[str]:
+    """Non-dataclass classes: public methods with signatures."""
+    lines = [f"class {name}:"]
+    for attr in sorted(vars(cls)):
+        if attr.startswith("_") and attr != "__init__":
+            continue
+        member = inspect.getattr_static(cls, attr)
+        if isinstance(member, property):
+            lines.append(f"    property {attr}")
+        elif isinstance(member, staticmethod):
+            signature = inspect.signature(member.__func__)
+            lines.append(f"    static {attr}{signature}")
+        elif callable(member):
+            try:
+                signature = inspect.signature(member)
+            except (TypeError, ValueError):
+                continue
+            lines.append(f"    def {attr}{signature}")
+    return lines
+
+
+def render_surface() -> str:
+    sys.path.insert(0, str(REPO / "src"))
+    import repro.api as api
+
+    blocks: list[list[str]] = []
+    for name in sorted(api.__all__):
+        obj = getattr(api, name)
+        if isinstance(obj, tuple):
+            blocks.append([f"const {name} = {obj!r}"])
+        elif is_dataclass(obj) and isinstance(obj, type):
+            blocks.append(_render_dataclass(name, obj))
+        elif inspect.isclass(obj):
+            blocks.append(_render_class(name, obj))
+        elif callable(obj):
+            blocks.append(_render_function(name, obj))
+        else:
+            blocks.append([f"value {name}: {type(obj).__name__}"])
+    body = "\n\n".join("\n".join(block) for block in blocks)
+    return (
+        "# Snapshot of the repro.api public surface.\n"
+        "# Regenerate with: python tools/check_api.py --update\n\n"
+        + body
+        + "\n"
+    )
+
+
+def main(argv: list[str]) -> int:
+    rendered = render_surface()
+    if "--update" in argv:
+        SNAPSHOT.write_text(rendered, encoding="utf-8")
+        print(f"check_api: wrote {SNAPSHOT.relative_to(REPO)}")
+        return 0
+    if not SNAPSHOT.exists():
+        print(
+            f"check_api: {SNAPSHOT.relative_to(REPO)} is missing; "
+            "run: python tools/check_api.py --update",
+            file=sys.stderr,
+        )
+        return 1
+    expected = SNAPSHOT.read_text(encoding="utf-8")
+    if rendered == expected:
+        count = rendered.count("\ndef ") + rendered.count("\nclass ") + rendered.count("\nconst ")
+        print(f"check_api: surface matches snapshot ({count} entries)")
+        return 0
+    diff = difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        rendered.splitlines(keepends=True),
+        fromfile="tools/api_surface.txt (checked in)",
+        tofile="repro.api (current)",
+    )
+    sys.stderr.writelines(diff)
+    print(
+        "check_api: public surface drifted from tools/api_surface.txt; "
+        "if intentional, run: python tools/check_api.py --update",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
