@@ -50,7 +50,8 @@ def run_campaign(strategy: str) -> tuple[float, int]:
             f"  [{strategy}] update {step}: Diff_inst={result.update.diff_inst:3d}  "
             f"script={result.update.script_bytes:4d} B  "
             f"network={result.network_energy_j * 1e3:7.2f} mJ  "
-            f"hottest node={result.dissemination.max_node_energy_j() * 1e6:7.1f} uJ"
+            f"hottest node="
+            f"{result.dissemination.max_node_energy_j(exclude_sink=True) * 1e6:7.1f} uJ"
         )
     return total_j, total_bytes
 

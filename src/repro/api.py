@@ -36,9 +36,12 @@ from .config import (
     UpdateConfig,
 )
 from .core.compiler import CompiledProgram, Compiler
-from .core.session import SessionResult, UpdateSession
+from .core.session import CampaignResult, SessionResult, UpdateSession
 from .core.update import UpdatePlanner, UpdateResult
 from .energy import MICA2, PowerModel
+from .net.campaign import CampaignReport
+from .net.errors import DisconnectedTopologyError, DisseminationIncomplete
+from .net.faults import FaultPlan, NodeCrash, PartitionWindow
 from .net.topology import Topology
 from .service.fleet import FleetResult, FleetUpdateService, JobOutcome
 from .service.fleet import run_batch as _run_batch
@@ -117,13 +120,20 @@ def run_batch(
 
 __all__ = [
     "CP_STRATEGIES",
+    "CampaignReport",
+    "CampaignResult",
     "CompileConfig",
     "CompiledProgram",
     "DA_STRATEGIES",
+    "DisconnectedTopologyError",
+    "DisseminationIncomplete",
+    "FaultPlan",
     "FleetJob",
     "FleetResult",
     "FleetUpdateService",
     "JobOutcome",
+    "NodeCrash",
+    "PartitionWindow",
     "RA_STRATEGIES",
     "SessionResult",
     "TopologySpec",

@@ -38,7 +38,19 @@ Commands
     Run a deterministic end-to-end update fuzzing campaign
     (:mod:`repro.fuzz`): random programs, semantic edits, differential
     oracles; shrunk failing reproducers land in the corpus directory
-    and the exit status is non-zero when any oracle failed.
+    and the exit status is non-zero when any oracle failed.  With
+    ``--faults`` the sweep fuzzes *deployments* instead: random fault
+    plans (crashes, partitions, corruption) against the campaign
+    controller's convergence-or-quarantine oracle.
+
+``campaign OLD NEW`` / ``campaign --case ID``
+    Drive one fault-tolerant OTA campaign
+    (:func:`repro.net.campaign.run_campaign`): scripted node crashes
+    (``--crash 4@2:8``), partition windows (``--partition 3-9:7,8``),
+    payload corruption and duplicate delivery, or a randomly generated
+    plan (``--random-faults``).  Prints the structured
+    ``CampaignReport``; exit 0 when the fleet converged, 1 when nodes
+    were quarantined (partial outcome).
 
 ``profile OLD NEW`` / ``profile --case ID``
     Run one traced end-to-end update (compile, plan, disseminate,
@@ -312,8 +324,127 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_crash(text: str):
+    """``node@round`` or ``node@round:reboot`` → :class:`NodeCrash`."""
+    from .net.faults import NodeCrash
+
+    try:
+        node_part, when = text.split("@", 1)
+        if ":" in when:
+            round_part, reboot_part = when.split(":", 1)
+            reboot = int(reboot_part)
+        else:
+            round_part, reboot = when, None
+        return NodeCrash(
+            node=int(node_part), round=int(round_part), reboot_round=reboot
+        )
+    except (ValueError, TypeError) as error:
+        raise ValueError(
+            f"bad --crash {text!r} (want node@round or node@round:reboot): "
+            f"{error}"
+        ) from None
+
+
+def _parse_partition(text: str):
+    """``start-end:n1,n2,...`` → :class:`PartitionWindow`."""
+    from .net.faults import PartitionWindow
+
+    try:
+        window, nodes_part = text.split(":", 1)
+        start_part, end_part = window.split("-", 1)
+        nodes = tuple(int(n) for n in nodes_part.split(",") if n)
+        return PartitionWindow(
+            start=int(start_part), end=int(end_part), nodes=nodes
+        )
+    except (ValueError, TypeError) as error:
+        raise ValueError(
+            f"bad --partition {text!r} (want start-end:n1,n2,...): {error}"
+        ) from None
+
+
+def cmd_campaign(args) -> int:
+    import random
+
+    from .core.session import UpdateSession
+    from .net.faults import FaultPlan, generate_fault_plan
+    from .net.topology import grid
+
+    if args.case:
+        case = CASES.get(args.case)
+        if case is None:
+            print(f"unknown case {args.case!r}; available: {', '.join(CASES)}",
+                  file=sys.stderr)
+            return 2
+        old_source, new_source = case.old_source, case.new_source
+        label = f"case {case.case_id}"
+    elif args.old and args.new:
+        old_source, new_source = _read(args.old), _read(args.new)
+        label = f"{args.old} -> {args.new}"
+    else:
+        print("campaign needs OLD NEW files or --case ID", file=sys.stderr)
+        return 2
+
+    topology = grid(args.grid, args.grid)
+    try:
+        if args.random_faults:
+            rng = random.Random(f"repro-campaign-cli:{args.fault_seed}")
+            plan = generate_fault_plan(
+                rng,
+                topology.node_count,
+                max_rounds=args.rounds,
+                intensity=args.intensity,
+            )
+        else:
+            plan = FaultPlan(
+                crashes=tuple(_parse_crash(text) for text in args.crash),
+                partitions=tuple(
+                    _parse_partition(text) for text in args.partition
+                ),
+                corrupt_prob=args.corrupt,
+                duplicate_prob=args.duplicate,
+                seed=args.fault_seed,
+            )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    compile_config = _compile_config(args, args.baseline_ra)
+    old = Compiler(compile_config.to_options()).compile(old_source)
+    session = UpdateSession(
+        old, topology=topology, loss=args.loss, loss_seed=args.seed,
+        config=_update_config(args),
+    )
+    result = session.push_campaign(
+        new_source, plan=plan, max_rounds=args.rounds
+    )
+    print(f"campaign {label} (ra={args.ra} da={args.da}, "
+          f"{topology.node_count} nodes, loss={args.loss:g})")
+    print(f"faults   : {plan.describe()}")
+    print(result.report.render())
+    return 0 if result.converged else 1
+
+
 def cmd_fuzz(args) -> int:
     from .fuzz import GenConfig, run_fuzz
+
+    if args.faults:
+        from .fuzz import run_fault_fuzz
+
+        def on_fault_progress(iteration, outcome):
+            if args.quiet:
+                return
+            if (iteration + 1) % 25 == 0:
+                print(f"... {iteration + 1}/{args.iters} campaigns")
+
+        fault_report = run_fault_fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            intensity=args.intensity,
+            update_config=_update_config(args),
+            on_progress=on_fault_progress,
+        )
+        print(fault_report.render())
+        return 0 if fault_report.ok else 1
 
     config = GenConfig(
         max_funcs=args.max_funcs,
@@ -462,7 +593,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="skip delta-debugging of failing cases")
     p_fuzz.add_argument("--quiet", action="store_true")
+    p_fuzz.add_argument("--faults", action="store_true",
+                        help="fuzz fault plans against the campaign "
+                             "controller instead of update pairs")
+    p_fuzz.add_argument("--intensity", type=float, default=1.0,
+                        help="fault-plan intensity for --faults (default 1.0)")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="drive one fault-tolerant OTA campaign to "
+                         "fleet convergence"
+    )
+    p_campaign.add_argument("old", nargs="?")
+    p_campaign.add_argument("new", nargs="?")
+    p_campaign.add_argument("--case",
+                            help="run a paper case instead of files")
+    _add_strategy_flags(p_campaign)
+    p_campaign.add_argument("--grid", type=int, default=3,
+                            help="dissemination grid side (NxN nodes)")
+    p_campaign.add_argument("--loss", type=float, default=0.0,
+                            help="per-link loss probability")
+    p_campaign.add_argument("--seed", type=int, default=1,
+                            help="link-loss RNG seed")
+    p_campaign.add_argument("--rounds", type=int, default=200,
+                            help="campaign round budget")
+    p_campaign.add_argument("--crash", action="append", default=[],
+                            metavar="NODE@ROUND[:REBOOT]",
+                            help="schedule a node crash (repeatable)")
+    p_campaign.add_argument("--partition", action="append", default=[],
+                            metavar="START-END:N1,N2",
+                            help="partition an island of nodes (repeatable)")
+    p_campaign.add_argument("--corrupt", type=float, default=0.0,
+                            help="per-delivery payload corruption probability")
+    p_campaign.add_argument("--duplicate", type=float, default=0.0,
+                            help="per-delivery duplicate probability")
+    p_campaign.add_argument("--fault-seed", type=int, default=0,
+                            help="fault-plan RNG seed")
+    p_campaign.add_argument("--random-faults", action="store_true",
+                            help="generate the fault plan from --fault-seed")
+    p_campaign.add_argument("--intensity", type=float, default=1.0,
+                            help="generated fault-plan intensity")
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_profile = sub.add_parser(
         "profile", help="trace one end-to-end update and print a "

@@ -24,9 +24,12 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple
 
 from .regalloc.chunks import DEFAULT_K
+
+if TYPE_CHECKING:  # imported lazily to keep this module import-light
+    from .net.faults import FaultPlan
 
 #: Legal register-allocation strategies for update planning.
 RA_STRATEGIES = ("ucc", "ucc-ilp", "gcc", "linear")
@@ -239,10 +242,23 @@ class FleetJob:
     measure_cycles: bool = False
     #: free-form label echoed in the outcome (defaults to the index)
     job_id: str = ""
+    #: non-None runs the fault-tolerant campaign controller instead of
+    #: plain dissemination (requires a topology)
+    fault_plan: Optional["FaultPlan"] = None
+    #: campaign round budget (only meaningful with a fault plan)
+    max_rounds: int = 200
 
     def __post_init__(self):
         if not (0.0 <= self.loss < 1.0):
             raise ValueError(f"FleetJob.loss must be in [0, 1), got {self.loss}")
+        if self.max_rounds < 1:
+            raise ValueError(
+                f"FleetJob.max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        if self.fault_plan is not None and self.topology is None:
+            raise ValueError(
+                "FleetJob.fault_plan requires a topology to inject faults into"
+            )
 
     def digest(self) -> str:
         """Content address of the whole job (sources by hash)."""
@@ -256,6 +272,8 @@ class FleetJob:
                 "loss": self.loss,
                 "loss_seed": self.loss_seed,
                 "measure_cycles": self.measure_cycles,
+                "fault_plan": asdict(self.fault_plan) if self.fault_plan else None,
+                "max_rounds": self.max_rounds,
             }
         )
 

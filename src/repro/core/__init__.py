@@ -29,6 +29,11 @@ __all__ = [
     "plan_update",
 ]
 
-from .session import SessionResult, UpdateSession
+from .session import CampaignResult, SessionResult, UpdateSession
 
-__all__ += ["SessionResult", "UpdateSession", "profile_program"]
+__all__ += [
+    "CampaignResult",
+    "SessionResult",
+    "UpdateSession",
+    "profile_program",
+]

@@ -20,7 +20,10 @@ from dataclasses import dataclass
 from ..config import UpdateConfig, merge_legacy_strategy
 from ..diff.patcher import patched_words
 from ..energy.power_model import MICA2, PowerModel
+from ..net.campaign import CampaignReport, run_campaign
 from ..net.dissemination import DisseminationResult, disseminate
+from ..net.errors import DisseminationIncomplete
+from ..net.faults import FaultPlan
 from ..net.lossy import disseminate_lossy
 from ..net.topology import Topology, grid
 from ..obs import trace
@@ -48,6 +51,28 @@ class SessionResult:
                 "(nodes_patched == 0)"
             )
         return self.network_energy_j / self.nodes_patched
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one fault-tolerant OTA campaign.
+
+    Unlike :class:`SessionResult` this is never an exception path: an
+    unconverged fleet comes back as ``report.outcome == "partial"``
+    with the converged subset and the quarantined nodes enumerated.
+    """
+
+    update: UpdateResult
+    report: CampaignReport
+    nodes_patched: int
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+    @property
+    def network_energy_j(self) -> float:
+        return self.report.total_energy_j
 
 
 class UpdateSession:
@@ -92,6 +117,8 @@ class UpdateSession:
         self.loss_seed = loss_seed
         self.config = config if config is not None else UpdateConfig()
         self.planner_kwargs = planner_kwargs
+        #: fleet-wide version counter advanced by successful pushes
+        self.version = 0
 
     def push_update(
         self,
@@ -142,8 +169,10 @@ class UpdateSession:
                 power=self.power,
             )
             if not dissemination.complete:
-                raise RuntimeError(
-                    "dissemination did not complete within the round budget"
+                raise DisseminationIncomplete(
+                    missing=dissemination.missing,
+                    rounds=dissemination.rounds,
+                    packets=dissemination.packets,
                 )
         else:
             dissemination = disseminate(self.topology, update.packets, self.power)
@@ -156,6 +185,73 @@ class UpdateSession:
         nodes = self.topology.node_count - 1  # exclude the sink
 
         self.deployed = update.new
+        self.version += 1
         return SessionResult(
             update=update, dissemination=dissemination, nodes_patched=nodes
         )
+
+    def push_campaign(
+        self,
+        new_source: str,
+        plan: FaultPlan | None = None,
+        config: UpdateConfig | None = None,
+        max_rounds: int = 200,
+    ) -> CampaignResult:
+        """Compile one update and drive it to fleet convergence under a
+        fault plan.
+
+        The wire blob (code script + data script) is packetised with
+        per-packet CRCs and flooded through the campaign controller:
+        nodes stage it crash-consistently, crashed/partitioned nodes
+        retry with bounded backoff, and unrecoverable nodes are
+        quarantined.  Never raises for an unconverged fleet — inspect
+        ``result.report.outcome``.  The session's deployed program (and
+        version counter) advances only when the whole fleet converged,
+        matching what the sink would consider the fleet baseline.
+        """
+        cfg = config if config is not None else self.config
+        with trace.span(
+            "session.push_campaign",
+            ra=cfg.ra,
+            da=cfg.da,
+            loss=self.loss,
+            faults=(plan or FaultPlan()).describe(),
+        ):
+            planner = UpdatePlanner(
+                self.deployed, config=cfg, **self.planner_kwargs
+            )
+            update = planner.plan(new_source)
+
+            # Sink-side check that the script reconstructs the new image
+            # — the same verification each committed node's staged bank
+            # has passed packet-by-packet before its boot-pointer flip.
+            rebuilt = patched_words(self.deployed.image, update.diff.script)
+            if rebuilt != update.new.image.words():
+                raise AssertionError(
+                    "sensor-side patch diverged from sink binary"
+                )
+
+            blob = (
+                update.diff.script.to_bytes() + update.data_script.to_bytes()
+            )
+            report = run_campaign(
+                self.topology,
+                blob,
+                plan,
+                loss=self.loss,
+                seed=self.loss_seed,
+                power=self.power,
+                max_rounds=max_rounds,
+                payload_per_packet=update.packets.payload_per_packet,
+                overhead_per_packet=update.packets.overhead_per_packet,
+                old_version=self.version,
+                new_version=self.version + 1,
+            )
+            if report.converged:
+                self.deployed = update.new
+                self.version += 1
+            return CampaignResult(
+                update=update,
+                report=report,
+                nodes_patched=len(report.converged_nodes),
+            )

@@ -13,6 +13,7 @@ reproducers and persisted to a corpus (:mod:`.shrinker`); the
 CI.
 """
 
+from .fault_fuzz import FaultFinding, FaultFuzzReport, run_fault_fuzz
 from .mutator import Edit, EditNotApplicable, Mutator, apply_edits, mutate
 from .oracles import OracleFailure, PairVerdict, check_pair
 from .progen import GenConfig, GenProgram, ProgramGenerator, generate_program
@@ -22,6 +23,8 @@ from .shrinker import FuzzCase, persist_case, shrink
 __all__ = [
     "Edit",
     "EditNotApplicable",
+    "FaultFinding",
+    "FaultFuzzReport",
     "FuzzCase",
     "FuzzFinding",
     "FuzzReport",
@@ -36,6 +39,7 @@ __all__ = [
     "generate_program",
     "mutate",
     "persist_case",
+    "run_fault_fuzz",
     "run_fuzz",
     "shrink",
 ]

@@ -26,6 +26,16 @@ Energy model
     data-report example: a report travelling ``h`` hops runs the
     processing code once but the transmission code ``h`` times.
 
+Fault-tolerant campaigns
+    :mod:`~repro.net.faults` scripts deterministic fault plans (node
+    crash/reboot, payload corruption, partition windows, duplicate
+    delivery); :mod:`~repro.net.node_state` gives every node a
+    CRC-verified staging bank with a crash-consistent two-bank commit;
+    :func:`~repro.net.campaign.run_campaign` drives the fleet to
+    convergence with bounded retry/backoff and returns a structured
+    :class:`~repro.net.campaign.CampaignReport` (quarantined nodes,
+    fault log, retransmission overhead) instead of raising.
+
 Dissemination publishes ``net.*`` metrics and ``net.disseminate[_lossy]``
 spans into :mod:`repro.obs` — see docs/OBSERVABILITY.md.
 """
@@ -55,3 +65,28 @@ __all__ = [
 from .lossy import LossyResult, NACK_BYTES, disseminate_lossy
 
 __all__ += ["LossyResult", "NACK_BYTES", "disseminate_lossy"]
+
+from .errors import DisconnectedTopologyError, DisseminationIncomplete
+from .faults import FaultPlan, NodeCrash, PartitionWindow, generate_fault_plan
+from .node_state import (
+    NodeUpdateState,
+    ScriptPacket,
+    packet_crc,
+    packetise_blob,
+)
+from .campaign import CampaignReport, run_campaign
+
+__all__ += [
+    "CampaignReport",
+    "DisconnectedTopologyError",
+    "DisseminationIncomplete",
+    "FaultPlan",
+    "NodeCrash",
+    "NodeUpdateState",
+    "PartitionWindow",
+    "ScriptPacket",
+    "generate_fault_plan",
+    "packet_crc",
+    "packetise_blob",
+    "run_campaign",
+]

@@ -1,0 +1,498 @@
+"""Campaign controller: drive an OTA update to fleet convergence under faults.
+
+Where :func:`repro.net.lossy.disseminate_lossy` models exactly one
+failure mode (independent packet loss), a *campaign* drives the real
+thing: per-node :class:`~repro.net.node_state.NodeUpdateState` machines
+assembling the actual script bytes into CRC-verified staging banks,
+crash/reboot/partition/corruption/duplicate faults injected from a
+deterministic :class:`~repro.net.faults.FaultPlan`, exponential NACK
+backoff, and bounded retry rounds.  The controller never raises for an
+unconverged fleet — it returns a structured
+:class:`CampaignReport` with the converged subset, the quarantined
+nodes, per-node final versions, joule ledgers (retransmission and
+aborted-write overhead included), and the fault log.
+
+Determinism: identical ``(topology, blob, plan, seed)`` inputs produce
+a byte-identical report (``CampaignReport.to_json``), which is what
+the fuzz layer's replay guarantee and the regression tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
+from ..energy.power_model import MICA2, PowerModel
+from ..obs import metrics, trace
+from .dissemination import PATCH_CYCLES_PER_BYTE, NodeLedger
+from .faults import FaultPlan
+from .lossy import NACK_BYTES
+from .node_state import APPLY_ROUNDS, NodeUpdateState, packetise_blob
+from .topology import Topology
+
+#: Rounds without any fleet progress (and no scheduled fault event
+#: still to come) after which the controller stops retrying and
+#: quarantines the stragglers.
+DEFAULT_STALL_LIMIT = 24
+
+
+@dataclass
+class CampaignReport:
+    """Structured outcome of one update campaign."""
+
+    outcome: str  # "converged" | "partial"
+    rounds: int
+    packets: int
+    script_bytes: int
+    old_version: int
+    new_version: int
+    node_versions: dict[int, int]
+    quarantined: tuple[int, ...]
+    unreachable: tuple[int, ...]
+    ledgers: dict[int, NodeLedger]
+    broadcasts: int = 0
+    retransmissions: int = 0
+    nacks: int = 0
+    drops: int = 0
+    crc_rejections: int = 0
+    duplicates: int = 0
+    fault_log: list[str] = field(default_factory=list)
+    plan_digest: str = ""
+
+    @property
+    def converged(self) -> bool:
+        return self.outcome == "converged"
+
+    @property
+    def converged_nodes(self) -> tuple[int, ...]:
+        """Non-sink nodes running the new version at campaign end."""
+        return tuple(
+            node
+            for node, version in sorted(self.node_versions.items())
+            if node != 0 and version == self.new_version
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(ledger.total_j for ledger in self.ledgers.values())
+
+    def max_node_energy_j(self, exclude_sink: bool = True) -> float:
+        """Energy at the hottest node (the lifetime limiter; the sink
+        is mains-powered, so it is excluded by default)."""
+        candidates = [
+            ledger
+            for node, ledger in self.ledgers.items()
+            if not (exclude_sink and node == 0)
+        ]
+        return max(ledger.total_j for ledger in candidates)
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering — byte-identical across runs with
+        the same seed and fault plan (pinned by tests)."""
+        payload = {
+            "outcome": self.outcome,
+            "rounds": self.rounds,
+            "packets": self.packets,
+            "script_bytes": self.script_bytes,
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "node_versions": {
+                str(node): version
+                for node, version in sorted(self.node_versions.items())
+            },
+            "quarantined": list(self.quarantined),
+            "unreachable": list(self.unreachable),
+            "broadcasts": self.broadcasts,
+            "retransmissions": self.retransmissions,
+            "nacks": self.nacks,
+            "drops": self.drops,
+            "crc_rejections": self.crc_rejections,
+            "duplicates": self.duplicates,
+            "fault_log": list(self.fault_log),
+            "plan_digest": self.plan_digest,
+            "ledgers": {
+                str(node): {
+                    "tx_j": ledger.tx_j,
+                    "rx_j": ledger.rx_j,
+                    "cpu_j": ledger.cpu_j,
+                    "packets_sent": ledger.packets_sent,
+                    "packets_received": ledger.packets_received,
+                }
+                for node, ledger in sorted(self.ledgers.items())
+            },
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        fleet = len(self.node_versions) - 1  # exclude the sink
+        lines = [
+            f"campaign : {self.outcome} after {self.rounds} rounds "
+            f"({len(self.converged_nodes)}/{fleet} nodes on v{self.new_version})",
+            f"script   : {self.script_bytes} B in {self.packets} packets",
+            f"radio    : {self.broadcasts} broadcasts "
+            f"({self.retransmissions} retransmissions), {self.nacks} NACKs, "
+            f"{self.drops} drops, {self.crc_rejections} CRC rejections, "
+            f"{self.duplicates} duplicates",
+            f"energy   : {self.total_energy_j * 1e3:.2f} mJ network total, "
+            f"hottest node {self.max_node_energy_j() * 1e6:.1f} uJ",
+        ]
+        if self.quarantined:
+            nodes = ", ".join(str(node) for node in self.quarantined)
+            lines.append(f"quarantined: {nodes}")
+        if self.fault_log:
+            lines.append("fault log:")
+            lines.extend(f"  {entry}" for entry in self.fault_log)
+        return "\n".join(lines)
+
+
+def run_campaign(
+    topology: Topology,
+    blob: bytes,
+    plan: FaultPlan | None = None,
+    *,
+    loss: float = 0.0,
+    seed: int = 1,
+    power: PowerModel = MICA2,
+    max_rounds: int = 200,
+    payload_per_packet: int = DEFAULT_PAYLOAD,
+    overhead_per_packet: int = DEFAULT_OVERHEAD,
+    old_version: int = 0,
+    new_version: int = 1,
+    apply_rounds: int = APPLY_ROUNDS,
+    stall_limit: int = DEFAULT_STALL_LIMIT,
+) -> CampaignReport:
+    """Disseminate ``blob`` to every reachable node under ``plan``.
+
+    Never raises for an unconverged fleet: nodes the campaign cannot
+    update within the budget (dead forever, partitioned past the stall
+    limit, beyond ``max_rounds``) come back quarantined in a
+    ``"partial"`` report.  Deterministic given ``(seed, plan)``.
+    """
+    if not 0.0 <= loss < 1.0:
+        raise ValueError(f"loss probability {loss} out of [0, 1)")
+    plan = plan if plan is not None else FaultPlan()
+    with trace.span(
+        "campaign.run",
+        nodes=topology.node_count,
+        bytes=len(blob),
+        loss=loss,
+        faults=plan.describe(),
+    ):
+        report = _run_campaign(
+            topology,
+            blob,
+            plan,
+            loss=loss,
+            seed=seed,
+            power=power,
+            max_rounds=max_rounds,
+            payload_per_packet=payload_per_packet,
+            overhead_per_packet=overhead_per_packet,
+            old_version=old_version,
+            new_version=new_version,
+            apply_rounds=apply_rounds,
+            stall_limit=stall_limit,
+        )
+    metrics.counter("campaign.runs").inc()
+    metrics.histogram("campaign.rounds").observe(report.rounds)
+    metrics.counter("campaign.broadcasts").inc(report.broadcasts)
+    metrics.counter("campaign.retransmissions").inc(report.retransmissions)
+    metrics.counter("campaign.nacks").inc(report.nacks)
+    metrics.counter("campaign.drops").inc(report.drops)
+    metrics.counter("campaign.energy_j").inc(report.total_energy_j)
+    metrics.counter("net.fault.corruptions").inc(report.crc_rejections)
+    metrics.counter("net.fault.duplicates").inc(report.duplicates)
+    if report.converged:
+        metrics.counter("campaign.converged").inc()
+    else:
+        metrics.counter("campaign.partial").inc()
+        metrics.counter("campaign.quarantined_nodes").inc(len(report.quarantined))
+    return report
+
+
+def _run_campaign(
+    topology: Topology,
+    blob: bytes,
+    plan: FaultPlan,
+    *,
+    loss: float,
+    seed: int,
+    power: PowerModel,
+    max_rounds: int,
+    payload_per_packet: int,
+    overhead_per_packet: int,
+    old_version: int,
+    new_version: int,
+    apply_rounds: int,
+    stall_limit: int,
+) -> CampaignReport:
+    node_count = topology.node_count
+    packets = packetise_blob(blob, payload_per_packet)
+    count = len(packets)
+    blob_crc = zlib.crc32(blob) & 0xFFFFFFFF
+    nack_bits = 8 * NACK_BYTES
+    patch_j = PATCH_CYCLES_PER_BYTE * len(blob) * power.cycle_energy_j
+
+    # String seeding: deterministic across platforms (see fuzz.runner).
+    rng_link = random.Random(f"repro-campaign-link:{seed}")
+    rng_fault = random.Random(f"repro-campaign-fault:{plan.seed}")
+
+    hops = topology.hops_from_sink()
+    unreachable = tuple(
+        sorted(node for node in range(node_count) if node not in hops)
+    )
+
+    states = {
+        node: NodeUpdateState(
+            node=node, version=old_version, apply_rounds=apply_rounds
+        )
+        for node in range(node_count)
+    }
+    sink = states[0]
+    sink.committed = True
+    sink.version = new_version
+    sink.state = "committed"
+    sink.bank = {pkt.index: pkt.payload for pkt in packets}
+
+    if count == 0:
+        # Nothing to ship: every reachable node trivially holds the
+        # (empty) script and commits at once.
+        for node in range(1, node_count):
+            if node in unreachable:
+                continue
+            state = states[node]
+            state.committed = True
+            state.version = new_version
+            state.state = "committed"
+
+    ledgers = {node: NodeLedger() for node in range(node_count)}
+    crashes_by_round: dict[int, list] = {}
+    reboots_by_round: dict[int, list] = {}
+    event_rounds: set[int] = set()
+    for crash in plan.crashes:
+        if crash.node >= node_count:
+            continue
+        crashes_by_round.setdefault(crash.round, []).append(crash)
+        if crash.round <= max_rounds:
+            event_rounds.add(crash.round)
+        if crash.reboot_round is not None:
+            reboots_by_round.setdefault(crash.reboot_round, []).append(crash)
+            if crash.reboot_round <= max_rounds:
+                event_rounds.add(crash.reboot_round)
+    for window in plan.partitions:
+        # Events past the round budget can never fire; keeping them out
+        # of the stall bookkeeping lets a hopeless run stop early.
+        if window.start <= max_rounds:
+            event_rounds.add(window.start)
+        if window.end <= max_rounds:
+            event_rounds.add(window.end)
+
+    fault_log: list[str] = []
+    broadcasts = 0
+    nacks = 0
+    drops = 0
+    duplicates = 0
+    crc_rejections = 0
+    tx_counts: dict[tuple[int, int], int] = {}
+    rounds = 0
+    last_progress = 0
+
+    def link_up(a: int, b: int, round_no: int) -> bool:
+        return not any(w.severs(a, b, round_no) for w in plan.partitions)
+
+    def pending_nodes() -> list[int]:
+        """Reachable nodes not yet committed that can still recover."""
+        out = []
+        for node in range(1, node_count):
+            if node in unreachable or states[node].committed:
+                continue
+            if states[node].alive:
+                out.append(node)
+            elif any(
+                crash.node == node and crash.reboot_round is not None
+                and crash.reboot_round > rounds
+                for crash in plan.crashes
+            ):
+                out.append(node)
+        return out
+
+    partition_open: set[int] = set()
+    while rounds < max_rounds:
+        if not pending_nodes():
+            break
+        # Bounded retry: a stalled fleet with no scheduled fault event
+        # still to come will never make progress — stop burning rounds.
+        if rounds - last_progress >= stall_limit and not any(
+            event > rounds for event in event_rounds
+        ):
+            break
+        rounds += 1
+        round_progress: dict[int, bool] = {}
+
+        # -- fault events ------------------------------------------------
+        for crash in crashes_by_round.get(rounds, ()):
+            states[crash.node].crash()
+            metrics.counter("net.fault.crashes").inc()
+            detail = (
+                "after commit"
+                if states[crash.node].committed
+                else "staging bank lost"
+            )
+            fault_log.append(f"r{rounds}: node {crash.node} crashed ({detail})")
+        for crash in reboots_by_round.get(rounds, ()):
+            state = states[crash.node]
+            state.reboot(rounds)
+            metrics.counter("net.fault.reboots").inc()
+            image = "new image" if state.committed else "golden image"
+            fault_log.append(
+                f"r{rounds}: node {crash.node} rebooted "
+                f"({image} v{state.version})"
+            )
+        for index, window in enumerate(plan.partitions):
+            if window.start == rounds and index not in partition_open:
+                partition_open.add(index)
+                metrics.counter("net.fault.partitions").inc()
+                island = ",".join(str(n) for n in window.nodes)
+                fault_log.append(f"r{rounds}: partition {{{island}}} isolated")
+            if window.end == rounds and index in partition_open:
+                partition_open.discard(index)
+                island = ",".join(str(n) for n in window.nodes)
+                fault_log.append(f"r{rounds}: partition {{{island}}} healed")
+
+        # -- NACK phase (backoff-gated version/missing advertisement) ----
+        for node in range(1, node_count):
+            state = states[node]
+            if not state.should_nack(rounds, count):
+                continue
+            nacks += 1
+            state.note_nack(rounds, count)
+            ledgers[node].tx_j += nack_bits * power.tx_bit_energy_j
+            for peer in topology.neighbors.get(node, ()):
+                if states[peer].alive and link_up(node, peer, rounds):
+                    ledgers[peer].rx_j += nack_bits * power.rx_bit_energy_j
+
+        # -- broadcast phase (snapshot: hop-by-hop progression) ----------
+        snapshot = {
+            node: frozenset(states[node].bank) for node in range(node_count)
+        }
+        for sender in range(node_count):
+            state = states[sender]
+            if not state.alive or not snapshot[sender]:
+                continue
+            neighbours = [
+                peer
+                for peer in topology.neighbors.get(sender, ())
+                if states[peer].alive and link_up(sender, peer, rounds)
+            ]
+            if not neighbours:
+                continue
+            wanted: set[int] = set()
+            for peer in neighbours:
+                wanted |= states[peer].advertised_missing
+            sendable = sorted(snapshot[sender] & wanted)
+            for index in sendable:
+                packet = packets[index]
+                bits = 8 * (len(packet.payload) + overhead_per_packet)
+                broadcasts += 1
+                key = (sender, index)
+                tx_counts[key] = tx_counts.get(key, 0) + 1
+                ledgers[sender].tx_j += bits * power.tx_bit_energy_j
+                ledgers[sender].packets_sent += 1
+                for peer in neighbours:
+                    peer_state = states[peer]
+                    if peer_state.committed or index in peer_state.bank:
+                        continue
+                    deliveries = 1
+                    if (
+                        plan.duplicate_prob
+                        and rng_fault.random() < plan.duplicate_prob
+                    ):
+                        deliveries = 2
+                    for _ in range(deliveries):
+                        ledgers[peer].rx_j += bits * power.rx_bit_energy_j
+                        if rng_link.random() < loss:
+                            drops += 1
+                            continue
+                        delivered = packet
+                        if (
+                            plan.corrupt_prob
+                            and rng_fault.random() < plan.corrupt_prob
+                        ):
+                            delivered = packet.corrupted(
+                                rng_fault.randrange(1 << 16)
+                            )
+                        verdict = peer_state.receive(delivered, count)
+                        if verdict == "accepted":
+                            ledgers[peer].packets_received += 1
+                            round_progress[peer] = True
+                            last_progress = rounds
+                        elif verdict == "corrupt":
+                            crc_rejections += 1
+                        elif verdict == "duplicate":
+                            duplicates += 1
+
+        # -- apply phase (two-bank write, commit = boot-pointer flip) ----
+        for node in range(1, node_count):
+            state = states[node]
+            if state.state not in ("staged", "applying"):
+                continue
+            if state.state == "staged" and (
+                zlib.crc32(state.assembled_blob()) & 0xFFFFFFFF
+            ) != blob_crc:
+                # Whole-script verification failed: discard and re-sync.
+                # Unreachable with per-packet CRCs, but the state machine
+                # never flips the boot pointer on an unverified bank.
+                state.bank.clear()
+                state.state = "idle"
+                continue
+            ledgers[node].cpu_j += patch_j / max(1, apply_rounds)
+            if state.tick_apply(new_version):
+                round_progress[node] = True
+                last_progress = rounds
+
+        for node in range(1, node_count):
+            if states[node].alive and not states[node].committed:
+                states[node].note_round(round_progress.get(node, False))
+
+    quarantined = tuple(
+        sorted(
+            node
+            for node in range(1, node_count)
+            if not states[node].committed
+        )
+    )
+    retransmissions = sum(c - 1 for c in tx_counts.values() if c > 1)
+    outcome = "converged" if not quarantined else "partial"
+    return CampaignReport(
+        outcome=outcome,
+        rounds=rounds,
+        packets=count,
+        script_bytes=len(blob),
+        old_version=old_version,
+        new_version=new_version,
+        node_versions={
+            node: states[node].version for node in range(node_count)
+        },
+        quarantined=quarantined,
+        unreachable=unreachable,
+        ledgers=ledgers,
+        broadcasts=broadcasts,
+        retransmissions=retransmissions,
+        nacks=nacks,
+        drops=drops,
+        crc_rejections=crc_rejections,
+        duplicates=duplicates,
+        fault_log=fault_log,
+        plan_digest=plan.digest(),
+    )
+
+
+__all__ = ["CampaignReport", "DEFAULT_STALL_LIMIT", "run_campaign"]

@@ -59,9 +59,19 @@ class DisseminationResult:
     def total_rx_j(self) -> float:
         return sum(ledger.rx_j for ledger in self.ledgers.values())
 
-    def max_node_energy_j(self) -> float:
-        """Energy at the hottest node — what limits network lifetime."""
-        return max(ledger.total_j for ledger in self.ledgers.values())
+    def max_node_energy_j(self, exclude_sink: bool = False) -> float:
+        """Energy at the hottest node — what limits network lifetime.
+
+        ``exclude_sink=True`` drops node 0 from consideration: the sink
+        is mains-powered in the paper's setting, so its ledger should
+        not skew the lifetime-limiting-node metric.
+        """
+        candidates = [
+            ledger
+            for node, ledger in self.ledgers.items()
+            if not (exclude_sink and node == 0)
+        ]
+        return max(ledger.total_j for ledger in candidates)
 
 
 #: CPU cycles a node spends interpreting one script byte and patching.

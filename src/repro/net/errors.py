@@ -1,0 +1,65 @@
+"""Structured network-layer errors.
+
+The dissemination and campaign layers degrade gracefully: expected
+failure modes come back as data, not bare string exceptions.  The two
+errors here carry enough structure that a caller (the fleet service,
+the CLI, a test) can report *which* nodes are affected and *how far*
+the protocol got without parsing messages.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+class DisconnectedTopologyError(ValueError):
+    """A dissemination was asked to cover nodes the sink cannot reach.
+
+    Raised up front (before any rounds are spent) by
+    :func:`repro.net.lossy.disseminate_lossy`; the campaign layer
+    instead quarantines the unreachable nodes and proceeds.
+
+    ``unreachable`` lists the node ids with no path to the sink.
+    """
+
+    def __init__(self, unreachable: Sequence[int]):
+        self.unreachable = tuple(sorted(unreachable))
+        shown = ", ".join(str(node) for node in self.unreachable[:8])
+        if len(self.unreachable) > 8:
+            shown += f", ... ({len(self.unreachable)} total)"
+        super().__init__(
+            f"topology is disconnected: node(s) {shown} unreachable from "
+            f"the sink; dissemination would spin its whole round budget"
+        )
+
+
+class DisseminationIncomplete(RuntimeError):
+    """A lossy dissemination hit its round budget with nodes still missing
+    packets.
+
+    Structured attributes:
+
+    * ``missing`` — node id → count of packets that node still misses,
+    * ``rounds``  — repair rounds spent before giving up,
+    * ``packets`` — total packets in the script.
+
+    Subclasses :class:`RuntimeError` so pre-existing ``except
+    RuntimeError`` handlers keep working.
+    """
+
+    def __init__(self, missing: Mapping[int, int], rounds: int, packets: int):
+        self.missing = dict(missing)
+        self.rounds = rounds
+        self.packets = packets
+        worst = sorted(self.missing.items(), key=lambda kv: (-kv[1], kv[0]))
+        shown = ", ".join(
+            f"node {node}: {count}/{packets} missing" for node, count in worst[:4]
+        )
+        if len(worst) > 4:
+            shown += f", ... ({len(worst)} nodes total)"
+        super().__init__(
+            f"dissemination incomplete after {rounds} rounds ({shown})"
+        )
+
+
+__all__ = ["DisconnectedTopologyError", "DisseminationIncomplete"]

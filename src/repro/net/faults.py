@@ -1,0 +1,226 @@
+"""Deterministic, seedable fault-injection plans for OTA campaigns.
+
+The base network model fails in exactly one benign way — independent
+packet loss repaired by NACKs.  Real deployments (the Deluge/MNP class
+of protocols the paper builds on, and gossip-based code propagation)
+additionally lose whole nodes mid-patch, corrupt payloads in flight,
+partition for minutes at a time, and deliver duplicates.  A
+:class:`FaultPlan` scripts those events ahead of time so a campaign
+run is a pure function of ``(topology, script, plan, seed)`` — the
+same plan always produces the byte-identical
+:class:`~repro.net.campaign.CampaignReport`, which is what makes a
+fuzz finding replayable.
+
+Fault vocabulary
+    * :class:`NodeCrash` — a node dies at a given round (volatile
+      staging state lost) and optionally reboots later;
+    * :class:`PartitionWindow` — an island of nodes is cut off from
+      the rest of the network for a window of rounds (link churn);
+    * ``corrupt_prob`` — each delivered payload is bit-flipped with
+      this probability (caught by the receiver's per-packet CRC);
+    * ``duplicate_prob`` — each delivered packet arrives twice with
+      this probability (deduplicated by the staging bank).
+
+The sink (node 0) is mains-powered and drives the campaign, so plans
+never crash or partition it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass
+
+from ..obs import metrics, trace
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` crashes at the start of round ``round``.
+
+    A crash wipes the node's volatile staging bank and aborts any
+    in-progress patch application; the boot pointer keeps targeting the
+    golden image until the two-bank commit completes, so a rebooted
+    node runs either the golden image or the fully verified new one —
+    never a torn binary.  ``reboot_round`` of ``None`` means the node
+    never returns (battery pulled).
+    """
+
+    node: int
+    round: int
+    reboot_round: int | None = None
+
+    def __post_init__(self):
+        if self.node < 1:
+            raise ValueError(
+                f"NodeCrash.node must be >= 1 (the sink never crashes), "
+                f"got {self.node}"
+            )
+        if self.round < 1:
+            raise ValueError(f"NodeCrash.round must be >= 1, got {self.round}")
+        if self.reboot_round is not None and self.reboot_round <= self.round:
+            raise ValueError(
+                f"NodeCrash.reboot_round must come after the crash round "
+                f"{self.round}, got {self.reboot_round}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Links between ``nodes`` and the rest are down in ``[start, end)``."""
+
+    start: int
+    end: int
+    nodes: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.start < 1:
+            raise ValueError(
+                f"PartitionWindow.start must be >= 1, got {self.start}"
+            )
+        if self.end <= self.start:
+            raise ValueError(
+                f"PartitionWindow.end must exceed start {self.start}, "
+                f"got {self.end}"
+            )
+        if not self.nodes:
+            raise ValueError("PartitionWindow.nodes must not be empty")
+        if 0 in self.nodes:
+            raise ValueError(
+                "PartitionWindow.nodes must not contain the sink (node 0)"
+            )
+
+    def severs(self, a: int, b: int, round_no: int) -> bool:
+        """Is the ``a``—``b`` link down during ``round_no``?"""
+        if not self.start <= round_no < self.end:
+            return False
+        return (a in self.nodes) != (b in self.nodes)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A scripted, reproducible set of faults for one campaign run.
+
+    ``seed`` drives the per-delivery coin flips (corruption and
+    duplication); crashes and partitions are scheduled explicitly so a
+    plan is readable and shrinkable.
+    """
+
+    crashes: tuple[NodeCrash, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    corrupt_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.corrupt_prob < 1.0:
+            raise ValueError(
+                f"FaultPlan.corrupt_prob must be in [0, 1), "
+                f"got {self.corrupt_prob}"
+            )
+        if not 0.0 <= self.duplicate_prob < 1.0:
+            raise ValueError(
+                f"FaultPlan.duplicate_prob must be in [0, 1), "
+                f"got {self.duplicate_prob}"
+            )
+        crashed = [crash.node for crash in self.crashes]
+        if len(crashed) != len(set(crashed)):
+            raise ValueError(
+                f"FaultPlan schedules multiple crashes for one node: {crashed}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.crashes
+            and not self.partitions
+            and self.corrupt_prob == 0.0
+            and self.duplicate_prob == 0.0
+        )
+
+    def digest(self) -> str:
+        """Content address of the plan (canonical JSON, SHA-256)."""
+        blob = json.dumps(
+            asdict(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        parts = []
+        for crash in self.crashes:
+            back = (
+                f" (reboots r{crash.reboot_round})"
+                if crash.reboot_round is not None
+                else " (never reboots)"
+            )
+            parts.append(f"crash node {crash.node}@r{crash.round}{back}")
+        for window in self.partitions:
+            island = ",".join(str(n) for n in window.nodes)
+            parts.append(f"partition {{{island}}} r{window.start}-r{window.end}")
+        if self.corrupt_prob:
+            parts.append(f"corrupt p={self.corrupt_prob:g}")
+        if self.duplicate_prob:
+            parts.append(f"duplicate p={self.duplicate_prob:g}")
+        return "; ".join(parts) if parts else "no faults"
+
+
+def generate_fault_plan(
+    rng: random.Random,
+    node_count: int,
+    max_rounds: int = 120,
+    intensity: float = 1.0,
+) -> FaultPlan:
+    """Draw a random fault plan from ``rng`` — the fuzz mutator dimension.
+
+    ``intensity`` scales how eventful the plan is (1.0 ≈ a rough but
+    usually recoverable deployment).  Deterministic: the plan is a pure
+    function of the RNG state.
+    """
+    with trace.span("net.fault.plan", nodes=node_count):
+        crashes = []
+        candidates = list(range(1, node_count))
+        rng.shuffle(candidates)
+        crash_budget = min(len(candidates), max(0, round(3 * intensity)))
+        for node in candidates[: rng.randint(0, crash_budget)]:
+            crash_round = rng.randint(1, max(1, max_rounds // 3))
+            if rng.random() < 0.7:  # most crashed nodes come back
+                reboot = crash_round + rng.randint(1, max(2, max_rounds // 4))
+            else:
+                reboot = None
+            crashes.append(
+                NodeCrash(node=node, round=crash_round, reboot_round=reboot)
+            )
+
+        partitions = []
+        if node_count > 3 and rng.random() < 0.5 * intensity:
+            island_size = rng.randint(1, max(1, (node_count - 1) // 3))
+            island = tuple(
+                sorted(rng.sample(range(1, node_count), island_size))
+            )
+            start = rng.randint(1, max(1, max_rounds // 3))
+            end = start + rng.randint(2, max(3, max_rounds // 4))
+            partitions.append(
+                PartitionWindow(start=start, end=end, nodes=island)
+            )
+
+        corrupt = round(rng.uniform(0.0, 0.15 * intensity), 3)
+        duplicate = round(rng.uniform(0.0, 0.10 * intensity), 3)
+        plan = FaultPlan(
+            crashes=tuple(crashes),
+            partitions=tuple(partitions),
+            corrupt_prob=corrupt if rng.random() < 0.6 else 0.0,
+            duplicate_prob=duplicate if rng.random() < 0.4 else 0.0,
+            seed=rng.randint(0, 2**31 - 1),
+        )
+    metrics.counter("net.fault.plans").inc()
+    return plan
+
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "PartitionWindow",
+    "generate_fault_plan",
+]

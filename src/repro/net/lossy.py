@@ -16,12 +16,13 @@ smaller scripts are worth strictly more on lossy links.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..diff.packets import Packetisation
 from ..energy.power_model import MICA2, PowerModel
 from ..obs import metrics, trace
 from .dissemination import NodeLedger
+from .errors import DisconnectedTopologyError
 from .topology import Topology
 
 #: NACK size on the wire, bytes (header + bitmap chunk).
@@ -40,10 +41,22 @@ class LossyResult:
     complete: bool
     #: receptions killed by the loss model (the cause of every repair)
     drops: int = 0
+    #: node id -> packets still missing at exit (empty when complete)
+    missing: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_energy_j(self) -> float:
         return sum(ledger.total_j for ledger in self.ledgers.values())
+
+    def max_node_energy_j(self, exclude_sink: bool = False) -> float:
+        """Energy at the hottest node; ``exclude_sink=True`` drops the
+        mains-powered sink (node 0) from consideration."""
+        candidates = [
+            ledger
+            for node, ledger in self.ledgers.items()
+            if not (exclude_sink and node == 0)
+        ]
+        return max(ledger.total_j for ledger in candidates)
 
     def overhead_factor(self, lossless_broadcasts: int) -> float:
         """How many times more broadcasts than the lossless flood."""
@@ -70,6 +83,13 @@ def disseminate_lossy(
     """
     if not 0.0 <= loss < 1.0:
         raise ValueError(f"loss probability {loss} out of [0, 1)")
+    if not topology.is_connected():
+        # Fail fast instead of spinning the whole round budget on nodes
+        # the sink can never reach.
+        reached = topology.hops_from_sink()
+        raise DisconnectedTopologyError(
+            [node for node in range(topology.node_count) if node not in reached]
+        )
     with trace.span(
         "net.disseminate_lossy",
         nodes=topology.node_count,
@@ -151,6 +171,11 @@ def _disseminate_lossy(
                         drops += 1
 
     complete = all(len(have[node]) == count for node in have)
+    missing = {
+        node: count - len(have[node])
+        for node in range(topology.node_count)
+        if len(have[node]) < count
+    }
     return LossyResult(
         ledgers=ledgers,
         packets=count,
@@ -159,4 +184,5 @@ def _disseminate_lossy(
         nacks=nacks,
         complete=complete,
         drops=drops,
+        missing=missing,
     )

@@ -1,0 +1,214 @@
+"""Per-node OTA update state machine (staging bank + two-bank commit).
+
+Each simulated sensor assembles the incoming update script into a
+*staging bank*, one CRC-checked packet at a time, then applies it with
+the crash-consistency discipline energy-aware OTA work prescribes for
+flash devices: the new image is written to the inactive bank over
+several rounds and the boot pointer flips **only after** the whole
+staged script has been verified.  A crash at any point before the flip
+leaves the node running the resident golden image; a crash after the
+flip leaves it on the fully verified new one.  A torn binary is never
+bootable by construction — the invariant the campaign layer's
+differential oracle checks against the simulator.
+
+The state machine also owns the node's NACK backoff (exponential,
+capped) and its *advertised* missing set: neighbours only learn what a
+node misses in rounds the node actually NACKs, which is what makes
+backoff meaningful and is how a rebooted or late node re-syncs — its
+first NACK re-advertises everything.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+#: Rounds a complete, verified staging bank takes to write to the
+#: inactive flash bank before the boot-pointer flip (the window in
+#: which a crash must roll back to the golden image).
+APPLY_ROUNDS = 2
+
+#: Ceiling of the exponential NACK backoff, in rounds.
+MAX_NACK_INTERVAL = 8
+
+#: Bytes of one packet's CRC trailer on the wire.
+CRC_BYTES = 4
+
+
+def packet_crc(index: int, payload: bytes) -> int:
+    """Per-packet integrity check covering the index and the payload."""
+    return zlib.crc32(index.to_bytes(4, "little") + payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ScriptPacket:
+    """One wire packet of the update script."""
+
+    index: int
+    payload: bytes
+    crc: int
+
+    @staticmethod
+    def make(index: int, payload: bytes) -> "ScriptPacket":
+        return ScriptPacket(
+            index=index, payload=payload, crc=packet_crc(index, payload)
+        )
+
+    def corrupted(self, flip_at: int) -> "ScriptPacket":
+        """This packet with one payload byte bit-flipped in flight (the
+        CRC field still describes the original payload)."""
+        if not self.payload:
+            return ScriptPacket(index=self.index, payload=b"", crc=self.crc ^ 1)
+        at = flip_at % len(self.payload)
+        mutated = bytearray(self.payload)
+        mutated[at] ^= 0xFF
+        return ScriptPacket(index=self.index, payload=bytes(mutated), crc=self.crc)
+
+
+def packetise_blob(blob: bytes, payload_per_packet: int) -> list[ScriptPacket]:
+    """Split the wire blob into CRC-trailed script packets."""
+    if payload_per_packet < 1:
+        raise ValueError(
+            f"payload_per_packet must be >= 1, got {payload_per_packet}"
+        )
+    return [
+        ScriptPacket.make(i, blob[start : start + payload_per_packet])
+        for i, start in enumerate(range(0, len(blob), payload_per_packet))
+    ]
+
+
+@dataclass
+class NodeUpdateState:
+    """The update lifecycle of one sensor node.
+
+    States: ``idle`` → ``receiving`` → ``staged`` → ``applying`` →
+    ``committed``, with ``down`` overlaid while crashed.  Only the
+    transition into ``committed`` changes the running version.
+    """
+
+    node: int
+    version: int
+    apply_rounds: int = APPLY_ROUNDS
+    alive: bool = True
+    state: str = "idle"
+    committed: bool = False
+    bank: dict[int, bytes] = field(default_factory=dict)
+    crc_rejections: int = 0
+    duplicates: int = 0
+    #: what neighbours believe this node misses (updated on NACK)
+    advertised_missing: set[int] = field(default_factory=set)
+    _apply_left: int = 0
+    _nack_interval: int = 1
+    _next_nack_round: int = 1
+
+    # -- packet intake --------------------------------------------------
+
+    def receive(self, packet: ScriptPacket, expected_count: int) -> str:
+        """Take one delivery; returns ``"accepted"``, ``"duplicate"``,
+        ``"corrupt"``, or ``"ignored"`` (dead or already committed)."""
+        if not self.alive or self.committed:
+            return "ignored"
+        if packet_crc(packet.index, packet.payload) != packet.crc:
+            self.crc_rejections += 1
+            return "corrupt"
+        if packet.index in self.bank:
+            self.duplicates += 1
+            return "duplicate"
+        self.bank[packet.index] = packet.payload
+        self.advertised_missing.discard(packet.index)
+        self.state = "receiving"
+        if len(self.bank) == expected_count:
+            self.state = "staged"
+            self._apply_left = self.apply_rounds
+        return "accepted"
+
+    def missing_count(self, expected_count: int) -> int:
+        return expected_count - len(self.bank)
+
+    def holds_all(self, expected_count: int) -> bool:
+        return len(self.bank) >= expected_count
+
+    def assembled_blob(self) -> bytes:
+        """The staged script, in packet order."""
+        return b"".join(self.bank[i] for i in sorted(self.bank))
+
+    # -- crash-consistent apply ----------------------------------------
+
+    def tick_apply(self, new_version: int) -> bool:
+        """Advance the inactive-bank write by one round; returns True on
+        the round the boot pointer flips (the commit point)."""
+        if not self.alive or self.committed or self.state not in (
+            "staged",
+            "applying",
+        ):
+            return False
+        self.state = "applying"
+        self._apply_left -= 1
+        if self._apply_left > 0:
+            return False
+        # Boot-pointer flip: atomic, after full verification.
+        self.committed = True
+        self.version = new_version
+        self.state = "committed"
+        self.advertised_missing.clear()
+        return True
+
+    # -- crash / reboot -------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss.  Volatile staging state is gone; the boot pointer
+        is untouched, so the resident image stays whichever bank was
+        last committed (golden until the flip, new after)."""
+        self.alive = False
+        if not self.committed:
+            # Mid-patch crash: discard the staging bank and the
+            # half-written inactive bank.  Rollback is implicit — the
+            # boot pointer never moved.
+            self.bank.clear()
+            self.advertised_missing.clear()
+            self._apply_left = 0
+            self.state = "down"
+
+    def reboot(self, round_no: int) -> None:
+        """Power restored; the node boots whichever image the boot
+        pointer targets and re-syncs from scratch if uncommitted."""
+        self.alive = True
+        self.state = "committed" if self.committed else "idle"
+        self._nack_interval = 1
+        self._next_nack_round = round_no
+
+    # -- NACK backoff ---------------------------------------------------
+
+    def should_nack(self, round_no: int, expected_count: int) -> bool:
+        if not self.alive or self.committed:
+            return False
+        if self.holds_all(expected_count):
+            return False
+        return round_no >= self._next_nack_round
+
+    def note_nack(self, round_no: int, expected_count: int) -> None:
+        """The node NACKed this round: re-advertise its missing set and
+        schedule the next NACK."""
+        self.advertised_missing = {
+            i for i in range(expected_count) if i not in self.bank
+        }
+        self._next_nack_round = round_no + self._nack_interval
+
+    def note_round(self, made_progress: bool) -> None:
+        """Feed the backoff: progress resets the interval, a dry round
+        doubles it (capped)."""
+        if made_progress:
+            self._nack_interval = 1
+        else:
+            self._nack_interval = min(MAX_NACK_INTERVAL, self._nack_interval * 2)
+
+
+__all__ = [
+    "APPLY_ROUNDS",
+    "CRC_BYTES",
+    "MAX_NACK_INTERVAL",
+    "NodeUpdateState",
+    "ScriptPacket",
+    "packet_crc",
+    "packetise_blob",
+]

@@ -79,6 +79,12 @@ class JobOutcome:
     nodes_patched: int = 0
     network_energy_j: float = 0.0
     dissemination_rounds: int = 0
+    # -- campaign (empty/zero unless the job carried a fault plan) -------
+    #: "converged" or "partial"; "" for plain dissemination jobs
+    campaign_outcome: str = ""
+    nodes_quarantined: int = 0
+    #: sha256 of the canonical CampaignReport JSON — pins determinism
+    campaign_digest: str = ""
     # -- simulation (None unless measure_cycles) -------------------------
     old_cycles: Optional[int] = None
     new_cycles: Optional[int] = None
@@ -131,6 +137,10 @@ class FleetResult:
         ]
         for outcome in self.outcomes:
             status = "ok" if outcome.ok else f"FAIL: {outcome.error}"
+            if outcome.ok and outcome.campaign_outcome == "partial":
+                status = (
+                    f"partial ({outcome.nodes_quarantined} quarantined)"
+                )
             if outcome.cached:
                 status += " (cached)"
             strategy = f"{outcome.ra}/{outcome.da}/{outcome.cp}"
@@ -171,7 +181,9 @@ def execute_job(
     import hashlib
 
     from ..core.update import UpdatePlanner, measure_cycles
+    from ..net.campaign import run_campaign
     from ..net.dissemination import disseminate
+    from ..net.errors import DisseminationIncomplete
     from ..net.lossy import disseminate_lossy
 
     start = time.perf_counter()
@@ -183,9 +195,36 @@ def execute_job(
             nodes = 0
             energy_j = 0.0
             rounds = 0
+            campaign_outcome = ""
+            nodes_quarantined = 0
+            campaign_digest = ""
             if job.topology is not None:
                 topology = job.topology.build()
-                if job.loss > 0.0:
+                if job.fault_plan is not None:
+                    # Fault-tolerant campaign: graceful degradation —
+                    # an unconverged fleet is a structured partial
+                    # outcome, never an exception.
+                    blob = (
+                        result.diff.script.to_bytes()
+                        + result.data_script.to_bytes()
+                    )
+                    report = run_campaign(
+                        topology,
+                        blob,
+                        job.fault_plan,
+                        loss=job.loss,
+                        seed=job.loss_seed,
+                        max_rounds=job.max_rounds,
+                        payload_per_packet=result.packets.payload_per_packet,
+                        overhead_per_packet=result.packets.overhead_per_packet,
+                    )
+                    nodes = len(report.converged_nodes)
+                    energy_j = report.total_energy_j
+                    rounds = report.rounds
+                    campaign_outcome = report.outcome
+                    nodes_quarantined = len(report.quarantined)
+                    campaign_digest = report.digest()
+                elif job.loss > 0.0:
                     dissemination = disseminate_lossy(
                         topology,
                         result.packets,
@@ -193,15 +232,19 @@ def execute_job(
                         seed=job.loss_seed,
                     )
                     if not dissemination.complete:
-                        raise RuntimeError(
-                            "dissemination did not complete within the "
-                            "round budget"
+                        raise DisseminationIncomplete(
+                            missing=dissemination.missing,
+                            rounds=dissemination.rounds,
+                            packets=dissemination.packets,
                         )
+                    nodes = topology.node_count - 1
+                    energy_j = dissemination.total_energy_j
+                    rounds = dissemination.rounds
                 else:
                     dissemination = disseminate(topology, result.packets)
-                nodes = topology.node_count - 1
-                energy_j = dissemination.total_energy_j
-                rounds = dissemination.rounds
+                    nodes = topology.node_count - 1
+                    energy_j = dissemination.total_energy_j
+                    rounds = dissemination.rounds
             if job.measure_cycles:
                 measure_cycles(result)
             script_digest = hashlib.sha256(
@@ -239,6 +282,9 @@ def execute_job(
             nodes_patched=nodes,
             network_energy_j=energy_j,
             dissemination_rounds=rounds,
+            campaign_outcome=campaign_outcome,
+            nodes_quarantined=nodes_quarantined,
+            campaign_digest=campaign_digest,
             old_cycles=result.old_cycles,
             new_cycles=result.new_cycles,
         )

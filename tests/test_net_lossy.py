@@ -1,9 +1,17 @@
 """Lossy-dissemination tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.diff import EditScript, packetize
-from repro.net import disseminate_lossy, grid, line
+from repro.net import (
+    DisconnectedTopologyError,
+    Topology,
+    disseminate_lossy,
+    grid,
+    line,
+)
 
 
 def make_packets(script_bytes=60):
@@ -69,3 +77,92 @@ class TestLossyDissemination:
         assert result.complete
         assert result.rounds == 0
         assert result.total_energy_j == 0.0
+
+    def test_disconnected_topology_fails_fast(self):
+        # Node 3 has no links at all: unreachable from the sink.
+        topo = Topology(
+            positions=[(0, 0), (1, 0), (2, 0), (9, 9)],
+            neighbors={0: [1], 1: [0, 2], 2: [1], 3: []},
+        )
+        with pytest.raises(DisconnectedTopologyError) as excinfo:
+            disseminate_lossy(topo, make_packets(), loss=0.1, seed=1)
+        assert excinfo.value.unreachable == (3,)
+        assert "node(s) 3" in str(excinfo.value)
+        # Still a ValueError, so pre-existing handlers keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_missing_counts_empty_when_complete(self):
+        result = disseminate_lossy(grid(3, 3), make_packets(), loss=0.2, seed=4)
+        assert result.complete
+        assert result.missing == {}
+
+    def test_missing_counts_reported_when_budget_exhausted(self):
+        result = disseminate_lossy(
+            line(6), make_packets(120), loss=0.9, seed=2, max_rounds=3
+        )
+        assert not result.complete
+        assert result.missing
+        assert all(
+            1 <= count <= result.packets for count in result.missing.values()
+        )
+
+    def test_max_node_energy_exclude_sink(self):
+        result = disseminate_lossy(line(5), make_packets(), loss=0.2, seed=6)
+        with_sink = result.max_node_energy_j()
+        without_sink = result.max_node_energy_j(exclude_sink=True)
+        assert without_sink <= with_sink
+        non_sink_max = max(
+            ledger.total_j
+            for node, ledger in result.ledgers.items()
+            if node != 0
+        )
+        assert without_sink == non_sink_max
+
+
+class TestLossyProperties:
+    """Property and regression coverage of the lossy protocol."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        side=st.integers(min_value=2, max_value=4),
+        script_bytes=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_lossless_flood_is_ideal(self, side, script_bytes, seed):
+        """With loss=0.0 the repair machinery must never engage: the
+        flood completes in exactly the hop depth with zero drops, and
+        every node receives each packet exactly once."""
+        topo = grid(side, side)
+        packets = make_packets(script_bytes)
+        result = disseminate_lossy(topo, packets, loss=0.0, seed=seed)
+        assert result.complete
+        assert result.drops == 0
+        assert result.rounds == topo.max_hops()
+        for node, ledger in result.ledgers.items():
+            if node == 0:
+                continue
+            assert ledger.packets_received == result.packets
+
+    def test_lossy_result_deterministic_across_repeats(self):
+        """Same seed ⇒ field-identical LossyResult, run after run."""
+        topo = grid(4, 4)
+        runs = [
+            disseminate_lossy(topo, make_packets(90), loss=0.35, seed=17)
+            for _ in range(3)
+        ]
+        first = runs[0]
+        for other in runs[1:]:
+            assert other.packets == first.packets
+            assert other.rounds == first.rounds
+            assert other.broadcasts == first.broadcasts
+            assert other.nacks == first.nacks
+            assert other.drops == first.drops
+            assert other.complete == first.complete
+            assert other.missing == first.missing
+            for node, ledger in first.ledgers.items():
+                twin = other.ledgers[node]
+                assert twin.tx_j == ledger.tx_j
+                assert twin.rx_j == ledger.rx_j
+                assert twin.cpu_j == ledger.cpu_j
+                assert twin.packets_sent == ledger.packets_sent
+                assert twin.packets_received == ledger.packets_received
