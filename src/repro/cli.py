@@ -654,6 +654,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--jsonl", metavar="FILE",
                            help="write raw span events (JSONL) here")
     p_profile.set_defaults(func=cmd_profile)
+
+    from repro.lint import cli as lint_cli
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism/safety static analysis suite "
+                     "(see docs/LINT.md)"
+    )
+    lint_cli.add_arguments(p_lint)
+    p_lint.set_defaults(func=lint_cli.run)
     return parser
 
 

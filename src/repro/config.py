@@ -51,8 +51,24 @@ def baseline_ra(ra: str) -> str:
     return ra if ra in RA_BASELINE_NAMES else "gcc"
 
 
+def _reject_unencodable(obj):
+    # A digest preimage must hold only canonical JSON primitives.  The
+    # old ``default=str`` fallback would have silently serialised an
+    # unknown object via repr() — which embeds a memory address for
+    # anything without a custom __repr__, making the "content" digest
+    # differ between two processes holding identical content.  Refuse
+    # loudly instead; config values are primitives by construction.
+    raise TypeError(
+        f"config digest preimage contains a non-JSON value: {obj!r} "
+        f"({type(obj).__name__}); digests must be pure functions of "
+        f"content"
+    )
+
+
 def _digest_of(obj) -> str:
-    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+    blob = json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_reject_unencodable
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

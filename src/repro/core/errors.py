@@ -1,0 +1,60 @@
+"""Structured core-layer errors.
+
+Mirrors :mod:`repro.net.errors`: every expected failure mode in the
+compile/update/session layer gets a typed exception that subclasses the
+builtin it replaces, so pre-existing ``except ValueError`` /
+``pytest.raises(AssertionError)`` sites keep working while new callers
+can catch the precise condition and read structured attributes instead
+of parsing messages.  The ERR001 lint rule enforces that this layer
+never raises the bare builtins directly.
+"""
+
+from __future__ import annotations
+
+
+class PlanStateError(ValueError):
+    """An :class:`~repro.core.update.UpdatePlan` accessor was used out of
+    order (e.g. ``diff_cycle`` before ``measure_cycles()``).
+
+    ``needed`` names the call that must happen first.
+    """
+
+    def __init__(self, needed: str, message: str):
+        self.needed = needed
+        super().__init__(message)
+
+
+class EmptyFleetError(ValueError):
+    """A fleet-wide quantity is undefined because there are no sensor
+    nodes to amortise it over.
+
+    ``node_count`` is the (sink-inclusive) size of the topology that
+    triggered the error, or 0 for a result with no patched nodes.
+    """
+
+    def __init__(self, node_count: int, message: str):
+        self.node_count = node_count
+        super().__init__(message)
+
+
+class PatchDivergenceError(AssertionError):
+    """The sensor-side reconstruction does not match the sink's binary.
+
+    This is the update pipeline's last-line safety check: the script
+    the sink is about to broadcast, applied to the deployed image, must
+    rebuild the new image bit-for-bit (the same verification every
+    node's staged bank performs packet-by-packet before its boot
+    pointer flips).  ``stage`` says which check failed (``"text"``,
+    ``"data"``, or ``"session"``).
+
+    Subclasses :class:`AssertionError` because divergence is an
+    invariant violation, not an input error — and so existing
+    ``except AssertionError`` sites keep working.
+    """
+
+    def __init__(self, stage: str, message: str):
+        self.stage = stage
+        super().__init__(message)
+
+
+__all__ = ["EmptyFleetError", "PatchDivergenceError", "PlanStateError"]

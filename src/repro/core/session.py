@@ -28,6 +28,7 @@ from ..net.lossy import disseminate_lossy
 from ..net.topology import Topology, grid
 from ..obs import trace
 from .compiler import CompiledProgram
+from .errors import EmptyFleetError, PatchDivergenceError
 from .update import UpdatePlanner, UpdateResult
 
 
@@ -46,9 +47,10 @@ class SessionResult:
     @property
     def per_node_energy_j(self) -> float:
         if self.nodes_patched == 0:
-            raise ValueError(
+            raise EmptyFleetError(
+                0,
                 "per_node_energy_j is undefined for an empty fleet "
-                "(nodes_patched == 0)"
+                "(nodes_patched == 0)",
             )
         return self.network_energy_j / self.nodes_patched
 
@@ -108,9 +110,10 @@ class UpdateSession:
         self.deployed = deployed
         self.topology = topology or grid(8, 8)
         if self.topology.node_count < 2:
-            raise ValueError(
+            raise EmptyFleetError(
+                self.topology.node_count,
                 f"fleet has no sensor nodes to update: topology holds "
-                f"{self.topology.node_count} node(s) and node 0 is the sink"
+                f"{self.topology.node_count} node(s) and node 0 is the sink",
             )
         self.power = power
         self.loss = loss
@@ -181,7 +184,9 @@ class UpdateSession:
         # one verification covers all; we still count the nodes).
         rebuilt = patched_words(self.deployed.image, update.diff.script)
         if rebuilt != update.new.image.words():
-            raise AssertionError("sensor-side patch diverged from sink binary")
+            raise PatchDivergenceError(
+                "session", "sensor-side patch diverged from sink binary"
+            )
         nodes = self.topology.node_count - 1  # exclude the sink
 
         self.deployed = update.new
@@ -227,8 +232,8 @@ class UpdateSession:
             # has passed packet-by-packet before its boot-pointer flip.
             rebuilt = patched_words(self.deployed.image, update.diff.script)
             if rebuilt != update.new.image.words():
-                raise AssertionError(
-                    "sensor-side patch diverged from sink binary"
+                raise PatchDivergenceError(
+                    "session", "sensor-side patch diverged from sink binary"
                 )
 
             blob = (

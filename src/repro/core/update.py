@@ -33,6 +33,7 @@ from ..energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..ir.liveness import analyze
 from ..obs import metrics, trace
 from ..regalloc.base import verify_allocation
+from .errors import PatchDivergenceError, PlanStateError
 from ..regalloc.ucc_ra import UCCReport, allocate_ucc_greedy
 from ..sim.devices import DeviceBoard, Timer
 from ..sim.executor import run_image
@@ -88,7 +89,9 @@ class UpdateResult:
     def diff_cycle(self) -> int:
         """Paper's Diff_cycle: per-run cycle change old → new."""
         if self.old_cycles is None or self.new_cycles is None:
-            raise ValueError("call measure_cycles() first")
+            raise PlanStateError(
+                "measure_cycles", "call measure_cycles() first"
+            )
         return self.new_cycles - self.old_cycles
 
     def diff_energy(
@@ -312,7 +315,9 @@ class UpdatePlanner:
             with trace.span("update.verify"):
                 verify_patch(old.image, image, diff.script)
                 if apply_data(old.image.data, data_script) != image.data:
-                    raise AssertionError("data-segment patch does not round-trip")
+                    raise PatchDivergenceError(
+                        "data", "data-segment patch does not round-trip"
+                    )
         packets = packetize(diff.script)
         packets = Packetisation(
             script_bytes=diff.script.size_bytes + data_script.size_bytes,

@@ -24,6 +24,7 @@ is, in the fault space.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import random
 from dataclasses import dataclass, field
@@ -243,17 +244,20 @@ def run_fault_fuzz(
             loss = round(rng.uniform(0.0, 0.25), 3)
             link_seed = rng.randrange(1 << 31)
 
-            def campaign() -> CampaignReport:
-                return run_campaign(
-                    topology,
-                    pair.blob,
-                    plan,
-                    loss=loss,
-                    seed=link_seed,
-                    max_rounds=FUZZ_MAX_ROUNDS,
-                    payload_per_packet=pair.payload,
-                    overhead_per_packet=pair.overhead,
-                )
+            # partial over the loop-carried values rather than a
+            # closure: a closure would capture the *variables* (ruff
+            # B023) and re-read whatever the loop last assigned.
+            campaign = functools.partial(
+                run_campaign,
+                topology,
+                pair.blob,
+                plan,
+                loss=loss,
+                seed=link_seed,
+                max_rounds=FUZZ_MAX_ROUNDS,
+                payload_per_packet=pair.payload,
+                overhead_per_packet=pair.overhead,
+            )
 
             outcome = campaign()
             replay = campaign()

@@ -153,7 +153,7 @@ def solve_lp(
             candidates = [j for j in allowed_cols if reduced[j] < -_TOL]
             if not candidates:
                 return
-            col_in = min(candidates, key=lambda j: (reduced[j], j))
+            col_in = min(candidates, key=lambda j, r=reduced: (r[j], j))
             ratios = []
             for r in range(tab.shape[0]):
                 if tab[r, col_in] > _TOL:

@@ -201,8 +201,10 @@ class SemanticChecker:
             right = self._const_value(expr.right)
             try:
                 return _eval_binop(expr.op, left, right, 0xFFFF)
-            except ZeroDivisionError:
-                raise SemanticError("division by zero in constant", expr.location)
+            except ZeroDivisionError as error:
+                raise SemanticError(
+                    "division by zero in constant", expr.location
+                ) from error
         raise SemanticError(
             "global initialisers must be compile-time constants", expr.location
         )

@@ -1,0 +1,50 @@
+"""repro.lint — a determinism- and safety-certifying static analysis suite.
+
+Every layer of this repo stakes correctness on byte-determinism:
+content-addressed configs and caches, canonicalised ILP solve memos,
+byte-deterministic ``CampaignReport`` digests, and replay-identity
+fault oracles.  The fuzz sweeps catch violations *after* the fact;
+this package proves the invariants *statically*, in the same spirit as
+the paper's insight that the compiler — not runtime retransmission —
+is the right place to prevent update cost.
+
+The suite is an AST-based rule framework over the repo's own source:
+
+* a rule registry with per-rule severity (:mod:`repro.lint.base`),
+* inline ``# repro-lint: disable=RULE -- justification`` suppressions
+  with *required* justification (:mod:`repro.lint.suppress`),
+* a committed baseline file for grandfathered findings
+  (:mod:`repro.lint.baseline`),
+* human, JSON, and SARIF output (:mod:`repro.lint.output`),
+* the headline **DIGEST-TAINT** pass — an interprocedural-lite
+  dataflow analysis flagging nondeterministic sources (wall clock,
+  unseeded RNG, ``id()``/``hash()``, unordered set/dict-view
+  iteration, environment and filesystem-ordering reads) that flow
+  into digest sinks (:mod:`repro.lint.digest_taint`),
+* a rule pack encoding the repo's established discipline
+  (:mod:`repro.lint.rules`): ERR001, RNG001, POOL001, OBS001,
+  FROZEN001.
+
+Run it as ``repro lint src tools`` (see ``docs/LINT.md`` for the rule
+catalogue and the suppression/baseline policy).
+"""
+
+from .base import Finding, ModuleSource, Rule, all_rules, get_rule
+from .baseline import Baseline, BaselineEntry
+from .runner import LintResult, lint_paths
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+]
+
+# Importing the rule modules registers them with the registry.
+from . import digest_taint as _digest_taint  # noqa: E402,F401
+from . import rules as _rules  # noqa: E402,F401

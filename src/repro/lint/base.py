@@ -1,0 +1,165 @@
+"""Core vocabulary of the lint suite: findings, modules, rules, registry.
+
+A :class:`Rule` inspects one parsed :class:`ModuleSource` at a time and
+yields :class:`Finding`s.  Rules register themselves with the process
+registry via :func:`register`; the runner iterates the registry in rule
+id order so reports are deterministic.  The registry is the single
+source of truth for the rule catalogue — ``tools/check_docs.py``
+cross-checks ``docs/LINT.md`` against the ``rule_id`` declarations in
+this package so the documentation cannot drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Type
+
+#: Legal finding severities.  ``error`` findings fail the run;
+#: ``warning`` findings are reported but do not affect the exit code.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule firing at a location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: str = "error"
+    #: the stripped source line, for context and baseline fingerprints
+    snippet: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file handed to every rule."""
+
+    #: path as given to the runner (used in reports)
+    path: str
+    #: normalised posix path relative to the lint root — what scoped
+    #: rules (ERR001, POOL001, the obs exemption) match against
+    relpath: str
+    text: str
+    tree: ast.Module
+    lines: List[str]
+
+    @staticmethod
+    def load(path: Path, relpath: str) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return ModuleSource(
+            path=str(path),
+            relpath=relpath,
+            text=text,
+            tree=tree,
+            lines=text.splitlines(),
+        )
+
+    def snippet_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` is surfaced in ``--list-rules``, the SARIF rule
+    metadata, and is the seed of the ``docs/LINT.md`` catalogue entry.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    severity: str = "error"
+    rationale: str = ""
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=line,
+            column=column,
+            message=message,
+            severity=severity or self.severity,
+            snippet=module.snippet_at(line),
+        )
+
+
+#: The process-wide rule registry, keyed by rule id.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {cls.rule_id} severity must be one of {SEVERITIES}, "
+            f"got {cls.severity!r}"
+        )
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order (deterministic reports)."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    if rule_id not in RULES:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULES))}"
+        )
+    return RULES[rule_id]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "dotted_name",
+    "get_rule",
+    "register",
+]

@@ -1,0 +1,186 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+A baseline entry matches a finding by *fingerprint* — a hash of the
+rule id, the file's lint-root-relative path, the flagged source line's
+text, and an occurrence index — so entries survive unrelated edits
+(line-number drift) but die with the code they grandfather: fix or
+delete the flagged line and the entry goes stale.  Stale entries are
+reported so the baseline can only shrink, never silently rot.
+
+Every entry **must** carry a non-empty justification; loading a
+baseline with a silent entry is a usage error, not a lint finding —
+the file is hand-maintained and reviewed, so an unjustified entry is a
+broken contract, not a code smell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .base import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline location, relative to the lint root.
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or violates the contract."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    justification: str
+
+
+def fingerprint_findings(findings: List[Finding]) -> List[str]:
+    """One fingerprint per finding, aligned with the input order.
+
+    Identical flagged lines in one file are disambiguated by an
+    occurrence counter in runner order (top of file downwards), which
+    is stable as long as the duplicates themselves do not move past
+    each other.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[str] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        payload = f"{finding.rule}:{finding.path}:{finding.snippet}:{occurrence}"
+        out.append(hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16])
+    return out
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, keyed by fingerprint."""
+
+    entries: Dict[str, BaselineEntry]
+
+    @staticmethod
+    def empty() -> "Baseline":
+        return Baseline(entries={})
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"{path}: not valid JSON: {error}") from error
+        if document.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version "
+                f"{document.get('version')!r} (expected {BASELINE_VERSION})"
+            )
+        entries: Dict[str, BaselineEntry] = {}
+        for raw in document.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=str(raw.get("fingerprint", "")),
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")),
+                justification=str(raw.get("justification", "")).strip(),
+            )
+            if not entry.fingerprint or not entry.rule:
+                raise BaselineError(
+                    f"{path}: entry missing fingerprint/rule: {raw!r}"
+                )
+            if not entry.justification:
+                raise BaselineError(
+                    f"{path}: entry {entry.fingerprint} ({entry.rule} in "
+                    f"{entry.path}) has no justification — every "
+                    f"grandfathered finding must explain why it is allowed"
+                )
+            if entry.fingerprint in entries:
+                raise BaselineError(
+                    f"{path}: duplicate fingerprint {entry.fingerprint}"
+                )
+            entries[entry.fingerprint] = entry
+        return Baseline(entries=entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(
+                    self.entries.values(),
+                    key=lambda e: (e.path, e.rule, e.fingerprint),
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def from_findings(
+        findings: List[Finding], justification: str
+    ) -> "Baseline":
+        """A fresh baseline grandfathering ``findings`` (used by
+        ``repro lint --write-baseline``; the placeholder justification
+        is meant to be hand-edited before committing)."""
+        entries: Dict[str, BaselineEntry] = {}
+        for finding, fingerprint in zip(
+            findings, fingerprint_findings(findings)
+        ):
+            entries[fingerprint] = BaselineEntry(
+                fingerprint=fingerprint,
+                rule=finding.rule,
+                path=finding.path,
+                justification=justification,
+            )
+        return Baseline(entries=entries)
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Tuple[Finding, BaselineEntry]], List[BaselineEntry]]:
+        """Partition ``findings`` against the baseline.
+
+        Returns ``(active, grandfathered, stale_entries)``: findings
+        not covered by the baseline, findings matched to their entry,
+        and entries that matched nothing (the code they covered is
+        gone — delete them).
+        """
+        active: List[Finding] = []
+        grandfathered: List[Tuple[Finding, BaselineEntry]] = []
+        used: set = set()
+        for finding, fingerprint in zip(
+            findings, fingerprint_findings(findings)
+        ):
+            entry = self.entries.get(fingerprint)
+            if entry is None:
+                active.append(finding)
+            else:
+                grandfathered.append((finding, entry))
+                used.add(fingerprint)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in used
+        ]
+        return active, grandfathered, stale
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE",
+    "fingerprint_findings",
+]

@@ -1,0 +1,147 @@
+"""Argparse front-end for ``repro lint``.
+
+Kept separate from :mod:`repro.cli` so the lint suite stays importable
+and testable without the rest of the CLI; ``repro.cli`` registers a
+``lint`` subcommand that delegates to :func:`run`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .base import all_rules
+from .baseline import DEFAULT_BASELINE, Baseline, BaselineError
+from .output import render_human, render_json, render_sarif
+from .runner import lint_paths
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools"],
+        help="files or directories to lint (default: src tools)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="lint root; finding paths and the baseline are relative "
+        "to it (default: current directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} under the "
+        "root, when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as active",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write all current findings to PATH as a fresh baseline "
+        "(justifications are placeholders — edit before committing) "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE_ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show baselined and suppressed findings",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} [{rule.severity}] {rule.name}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    root = Path(args.root)
+    baseline = Baseline.empty()
+    if not args.no_baseline and args.write_baseline is None:
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else root / DEFAULT_BASELINE
+        )
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        elif args.baseline:
+            print(
+                f"error: baseline {baseline_path} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+
+    result = lint_paths(
+        [Path(p) for p in args.paths],
+        root=root,
+        baseline=baseline,
+        only_rules=args.rule,
+    )
+
+    if args.write_baseline is not None:
+        fresh = Baseline.from_findings(
+            result.all_raw_findings(),
+            justification="TODO: justify this grandfathered finding",
+        )
+        fresh.save(Path(args.write_baseline))
+        print(
+            f"wrote {len(fresh.entries)} entries to {args.write_baseline}; "
+            f"replace the TODO justifications before committing"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_human(result, verbose=args.verbose))
+    return result.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism- and safety-certifying lint for this repo",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["add_arguments", "main", "run"]

@@ -1,0 +1,554 @@
+"""DIGEST-TAINT: nondeterministic sources must not reach digest sinks.
+
+Everything content-addressed in this repo — config digests, solve-memo
+keys, ``CampaignReport`` digests, fuzz replay digests — promises to be
+a pure function of its logical inputs: byte-identical across runs,
+platforms, and ``PYTHONHASHSEED`` values.  This pass proves it
+statically with a per-function forward dataflow plus
+*interprocedural-lite* module summaries.
+
+**Sinks** are discovered, not hardcoded: a ``hashlib.<algo>(...)``
+constructor call, an ``.update(...)`` on a value built from one, or a
+call to a same-module function whose own body feeds a parameter into a
+sink (``_digest_of``, ``canonical_digest`` and friends — this is the
+interprocedural-lite half, so taint is caught at the call site that
+introduced it, not inside the innocent helper).
+
+**Sources**, each tagged with a human-readable reason:
+
+* wall clock — ``time.time``/``perf_counter``/``monotonic``,
+  ``datetime.now``/``utcnow``/``today`` — except under ``repro/obs/``,
+  whose whole job is measuring wall time;
+* unseeded module-level RNG — ``random.random()``, ``random.randint``
+  … (calls on a ``random.Random`` *instance* are fine: RNG001 already
+  polices how instances are seeded);
+* interpreter identity — ``id()``, ``hash()`` (salted for ``str`` by
+  ``PYTHONHASHSEED``), explicit ``object.__repr__``;
+* ambient state — ``os.environ``/``os.getenv`` reads;
+* filesystem ordering — ``os.listdir``/``os.scandir``, ``glob``,
+  ``Path.iterdir``/``rglob``;
+* unordered iteration — values of ``set``/``frozenset`` type and raw
+  dict views (``.keys()``/``.values()``/``.items()``): *order* taint
+  that an enclosing ``sorted(...)`` cleanses (value taints are not
+  cleansed by sorting — a sorted list of timestamps is still
+  timestamps);
+* ``json.dumps(..., default=str)`` / ``default=repr`` — the fallback
+  encoder bottoms out in ``object.__repr__``, which embeds a memory
+  address; a canonical encoder must reject unknown types instead.
+
+Taint propagates through assignments, augmented assignments, tuple
+unpacking, loop targets, comprehensions, f-strings, and accumulator
+mutation (``append``/``add``/``extend``/``update``/``insert``), with a
+fixpoint loop so flows through loop-carried variables converge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .base import Finding, ModuleSource, Rule, dotted_name, register
+
+#: Taint tokens are strings: ``"value:<reason>"`` survives everything,
+#: ``"order:<reason>"`` is cleansed by ``sorted(...)``, ``"hasher"``
+#: marks hashlib objects, and ``"param:<name>"`` threads parameter
+#: identity through the summary computation.
+Taint = Set[str]
+
+_WALL_CLOCK_MODULES = ("time", "datetime", "date")
+_WALL_CLOCK_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "now",
+    "utcnow",
+    "today",
+}
+_MODULE_RNG_ATTRS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "getrandbits",
+    "randbytes",
+}
+_FS_ORDER_CALLS = {
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+}
+_FS_ORDER_ATTRS = {"iterdir", "rglob"}
+_HASHLIB_ALGOS = {
+    "sha256",
+    "sha224",
+    "sha384",
+    "sha512",
+    "sha1",
+    "md5",
+    "blake2b",
+    "blake2s",
+    "sha3_256",
+    "sha3_512",
+}
+_ACCUMULATE_ATTRS = {"append", "add", "extend", "update", "insert"}
+
+
+def _is_value(token: str) -> bool:
+    return token.startswith("value:")
+
+
+def _is_order(token: str) -> bool:
+    return token.startswith("order:")
+
+
+def _reasons(taint: Taint) -> List[str]:
+    return sorted(
+        token.split(":", 1)[1]
+        for token in taint
+        if _is_value(token) or _is_order(token)
+    )
+
+
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+
+
+def _is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_name(node)
+    return name.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+
+
+@dataclass
+class FunctionSummary:
+    """What a function does with taint, seen from a call site."""
+
+    node: ast.FunctionDef
+    #: positional parameter names, for call-site argument mapping
+    params: List[str]
+    #: parameters whose value reaches a digest sink inside the body
+    sink_params: Set[str] = field(default_factory=set)
+    #: the return value carries taint born inside the body
+    returns_taint: bool = False
+    #: reasons attached to the tainted return, for messages
+    return_reasons: Set[str] = field(default_factory=set)
+
+
+@register
+class DigestTaintRule(Rule):
+    """DIGEST-TAINT: the headline dataflow pass."""
+
+    rule_id = "DIGEST-TAINT"
+    name = "digest-taint"
+    severity = "error"
+    rationale = (
+        "Content addresses (config digests, solve-memo keys, "
+        "CampaignReport digests, fuzz replay digests) must be pure "
+        "functions of their logical inputs — byte-identical across "
+        "runs, platforms, and PYTHONHASHSEED.  Wall clock, unseeded "
+        "RNG, id()/hash(), environment reads, filesystem ordering, "
+        "and unsorted set/dict-view iteration silently break that "
+        "promise at the moment they flow into a digest."
+    )
+
+    #: wall-clock reads are this package's job, not a defect there
+    exempt_scopes: Tuple[str, ...] = ("repro/obs/",)
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        exempt_clock = any(
+            scope in module.relpath for scope in self.exempt_scopes
+        )
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.FunctionDef)
+        ]
+        summaries: Dict[str, FunctionSummary] = {}
+        for func in functions:
+            summaries[func.name] = FunctionSummary(
+                node=func,
+                params=[arg.arg for arg in func.args.args],
+            )
+        # Two summary rounds: the second catches helpers that forward
+        # to helpers (sink transitivity one level deep — the
+        # "interprocedural-lite" contract).
+        for _ in range(2):
+            for summary in summaries.values():
+                analysis = _FunctionTaint(
+                    summary.node,
+                    summaries,
+                    exempt_clock=exempt_clock,
+                    seed_params=True,
+                )
+                analysis.run()
+                summary.sink_params = analysis.sink_params
+                summary.returns_taint = analysis.returns_taint
+                summary.return_reasons = analysis.return_reasons
+        # Reporting pass: parameters are trusted (the caller's caller
+        # is checked at its own call sites), everything born inside
+        # the body is tracked.
+        for func in functions:
+            analysis = _FunctionTaint(
+                func, summaries, exempt_clock=exempt_clock, seed_params=False
+            )
+            analysis.run()
+            for node, reasons in analysis.violations:
+                yield self.finding(
+                    module,
+                    node,
+                    "nondeterministic data reaches a digest sink: "
+                    + "; ".join(sorted(set(reasons))),
+                )
+
+
+class _FunctionTaint:
+    """Forward taint dataflow over one function body."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef,
+        summaries: Dict[str, FunctionSummary],
+        exempt_clock: bool,
+        seed_params: bool,
+    ):
+        self.func = func
+        self.summaries = summaries
+        self.exempt_clock = exempt_clock
+        self.env: Dict[str, Taint] = {}
+        self.sink_params: Set[str] = set()
+        self.returns_taint = False
+        self.return_reasons: Set[str] = set()
+        self.violations: List[Tuple[ast.AST, List[str]]] = []
+        self._reported: Set[int] = set()
+        for arg in func.args.args:
+            if seed_params:
+                self.env[arg.arg] = {f"param:{arg.arg}"}
+            # A parameter annotated as a set is unordered wherever it
+            # came from; iterating it near a digest needs sorted().
+            if _is_set_annotation(arg.annotation):
+                self.env.setdefault(arg.arg, set()).add(
+                    "order:unsorted set iteration"
+                )
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> None:
+        # Fixpoint over the statement list: loop-carried taint (an
+        # accumulator appended inside a loop, read after it) settles
+        # within a few rounds; the bound guards pathological bodies.
+        for _ in range(4):
+            before = {name: set(taint) for name, taint in self.env.items()}
+            for stmt in self.func.body:
+                self._stmt(stmt)
+            if self.env == before:
+                break
+
+    # -- statements -----------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions get their own analysis
+        if isinstance(stmt, ast.Assign):
+            taint = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._expr(stmt.value) | self._expr(stmt.target)
+            self._bind(stmt.target, taint)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._expr(stmt.value)
+                reasons = _reasons(taint)
+                if reasons:
+                    self.returns_taint = True
+                    self.return_reasons.update(reasons)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            for child in stmt.body + stmt.orelse:
+                self._stmt(child)
+        elif isinstance(stmt, ast.For):
+            taint = self._expr(stmt.iter)
+            self._bind(stmt.target, taint)
+            for child in stmt.body + stmt.orelse:
+                self._stmt(child)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taint = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint)
+            for child in stmt.body:
+                self._stmt(child)
+        elif isinstance(stmt, ast.Try):
+            for child in (
+                stmt.body + stmt.orelse + stmt.finalbody
+                + [s for handler in stmt.handlers for s in handler.body]
+            ):
+                self._stmt(child)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            pass  # messages do not feed digests
+        # Pass/Break/Continue/Import/Global/Delete: nothing to track.
+
+    def _bind(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+        # Attribute/Subscript writes: conservatively taint the base name.
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id in self.env:
+                self.env[base.id] |= {
+                    t for t in taint if _is_value(t) or _is_order(t)
+                }
+
+    # -- expressions ----------------------------------------------------
+
+    def _expr(self, expr: ast.expr) -> Taint:  # noqa: C901 — one dispatch
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, set()))
+        if isinstance(expr, ast.Constant):
+            return set()
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, (ast.Set,)):
+            taint = self._union(expr.elts)
+            taint.add("order:unsorted set iteration")
+            return taint
+        if isinstance(expr, ast.SetComp):
+            taint = self._comprehension(expr.generators, [expr.elt])
+            taint.add("order:unsorted set iteration")
+            return taint
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self._comprehension(expr.generators, [expr.elt])
+        if isinstance(expr, ast.DictComp):
+            return self._comprehension(
+                expr.generators, [expr.key, expr.value]
+            )
+        if isinstance(expr, ast.Attribute):
+            name = dotted_name(expr)
+            if name in ("os.environ",):
+                return {"value:os.environ read"}
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return self._expr(expr.value) | self._expr(expr.slice)
+        if isinstance(expr, ast.BinOp):
+            return self._expr(expr.left) | self._expr(expr.right)
+        if isinstance(expr, ast.BoolOp):
+            return self._union(expr.values)
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr(expr.operand)
+        if isinstance(expr, ast.Compare):
+            return self._expr(expr.left) | self._union(expr.comparators)
+        if isinstance(expr, ast.IfExp):
+            return (
+                self._expr(expr.body)
+                | self._expr(expr.orelse)
+                | self._expr(expr.test)
+            )
+        if isinstance(expr, ast.JoinedStr):
+            return self._union(expr.values)
+        if isinstance(expr, ast.FormattedValue):
+            return self._expr(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return self._union(expr.elts)
+        if isinstance(expr, ast.Dict):
+            taint: Taint = set()
+            for key in expr.keys:
+                if key is not None:
+                    taint |= self._expr(key)
+            return taint | self._union(expr.values)
+        if isinstance(expr, ast.Starred):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Lambda):
+            return set()
+        if isinstance(expr, ast.Await):
+            return self._expr(expr.value)
+        return set()
+
+    def _union(self, exprs: Iterable[Optional[ast.expr]]) -> Taint:
+        taint: Taint = set()
+        for expr in exprs:
+            if expr is not None:
+                taint |= self._expr(expr)
+        return taint
+
+    def _comprehension(
+        self, generators: List[ast.comprehension], results: List[ast.expr]
+    ) -> Taint:
+        taint: Taint = set()
+        for gen in generators:
+            iter_taint = self._expr(gen.iter)
+            self._bind(gen.target, iter_taint)
+            taint |= iter_taint
+            for condition in gen.ifs:
+                self._expr(condition)
+        return taint | self._union(results)
+
+    # -- calls: sources, sinks, cleansers, summaries ---------------------
+
+    def _call(self, call: ast.Call) -> Taint:  # noqa: C901 — one dispatch
+        callee = dotted_name(call.func)
+        arg_taint = self._union(call.args) | self._union(
+            keyword.value for keyword in call.keywords
+        )
+
+        # sorted(...) fixes iteration order, and only iteration order.
+        if callee == "sorted":
+            return {t for t in arg_taint if not _is_order(t)}
+
+        # -- sinks -------------------------------------------------------
+        root = callee.split(".", 1)[0]
+        leaf = callee.rsplit(".", 1)[-1]
+        if root == "hashlib" and leaf in _HASHLIB_ALGOS:
+            self._check_sink(call, arg_taint, f"hashlib.{leaf}()")
+            return {"hasher"}
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "update"
+            and "hasher" in self._expr(call.func.value)
+        ):
+            self._check_sink(call, arg_taint, "hash.update()")
+            return set()
+        summary = self.summaries.get(callee)
+        if summary is not None and callee != self.func.name:
+            self._check_summary_call(call, summary)
+            if summary.returns_taint:
+                reasons = summary.return_reasons or {"helper return"}
+                return arg_taint | {
+                    f"value:{callee}() returns nondeterministic data "
+                    f"({'; '.join(sorted(reasons))})"
+                }
+            return arg_taint
+
+        # -- sources -----------------------------------------------------
+        source = self._source_reason(call, callee)
+        if source is not None:
+            return arg_taint | {source}
+
+        # dict views: order taint unless sorted upstream; the dict
+        # itself iterates in insertion order, but a raw view feeding a
+        # digest leaves the ordering obligation implicit — sort it.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("keys", "values", "items")
+            and not call.args
+        ):
+            return arg_taint | self._expr(call.func.value) | {
+                f"order:unsorted dict .{call.func.attr}() iteration"
+            }
+
+        if callee in ("set", "frozenset"):
+            return arg_taint | {"order:unsorted set iteration"}
+
+        # Methods on tracked values keep their taint (str.encode,
+        # str.join over a tainted iterable, bytes concat, ...).
+        if isinstance(call.func, ast.Attribute):
+            return arg_taint | self._expr(call.func.value)
+        return arg_taint
+
+    def _source_reason(self, call: ast.Call, callee: str) -> Optional[str]:
+        if "." in callee:
+            base, leaf = callee.rsplit(".", 1)
+            base_root = base.split(".")[-1]
+            if (
+                not self.exempt_clock
+                and base_root in _WALL_CLOCK_MODULES
+                and leaf in _WALL_CLOCK_ATTRS
+            ):
+                return f"value:wall clock ({callee}())"
+            if base_root == "random" and leaf in _MODULE_RNG_ATTRS:
+                return f"value:module-level RNG ({callee}())"
+            if callee in _FS_ORDER_CALLS or leaf in _FS_ORDER_ATTRS:
+                return f"value:filesystem ordering ({callee}())"
+            if callee in ("os.getenv", "os.environ.get"):
+                return "value:os.environ read"
+            if callee == "object.__repr__":
+                return "value:object.__repr__ (memory address)"
+            if callee == "json.dumps":
+                for keyword in call.keywords:
+                    if (
+                        keyword.arg == "default"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id in ("str", "repr")
+                    ):
+                        return (
+                            "value:json.dumps(default="
+                            f"{keyword.value.id}) falls back to "
+                            "object.__repr__ for unknown types — use a "
+                            "canonical encoder that rejects them"
+                        )
+        elif callee in ("id", "hash"):
+            return f"value:interpreter identity ({callee}())"
+        return None
+
+    def _check_sink(
+        self, call: ast.Call, arg_taint: Taint, sink: str
+    ) -> None:
+        for token in arg_taint:
+            if token.startswith("param:"):
+                self.sink_params.add(token.split(":", 1)[1])
+        reasons = _reasons(arg_taint)
+        if reasons and id(call) not in self._reported:
+            self._reported.add(id(call))
+            self.violations.append(
+                (call, [f"{reason} -> {sink}" for reason in reasons])
+            )
+
+    def _check_summary_call(
+        self, call: ast.Call, summary: FunctionSummary
+    ) -> None:
+        if not summary.sink_params:
+            return
+        bound: List[Tuple[str, ast.expr]] = []
+        for param, arg in zip(summary.params, call.args):
+            bound.append((param, arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bound.append((keyword.arg, keyword.value))
+        for param, arg in bound:
+            if param not in summary.sink_params:
+                continue
+            taint = self._expr(arg)
+            for token in taint:
+                if token.startswith("param:"):
+                    self.sink_params.add(token.split(":", 1)[1])
+            reasons = _reasons(taint)
+            if reasons and id(call) not in self._reported:
+                self._reported.add(id(call))
+                self.violations.append(
+                    (
+                        call,
+                        [
+                            f"{reason} -> {summary.node.name}({param}=...) "
+                            f"which digests it"
+                            for reason in reasons
+                        ],
+                    )
+                )
+
+
+__all__ = ["DigestTaintRule", "FunctionSummary"]

@@ -1,0 +1,180 @@
+"""Report renderers: human, machine JSON, and SARIF 2.1.0.
+
+The SARIF output is consumed by the CI job (uploaded as an artifact and
+suitable for code-scanning ingestion); the JSON output is the stable
+machine interface for scripts; the human output is what developers read
+in a terminal.  All three are rendered from the same
+:class:`~repro.lint.runner.LintResult`, so they can never disagree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .base import all_rules
+from .runner import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro.lint"
+
+
+def render_human(result: LintResult, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for path, message in result.parse_errors:
+        lines.append(f"{path}: parse error: {message}")
+    for finding in result.active:
+        lines.append(finding.render())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose:
+        for finding, entry in result.grandfathered:
+            lines.append(
+                f"{finding.render()}  [baselined: {entry.justification}]"
+            )
+        for finding in result.suppressed:
+            lines.append(f"{finding.render()}  [suppressed]")
+    for entry in result.stale_entries:
+        lines.append(
+            f"{entry.path}: stale baseline entry {entry.fingerprint} "
+            f"({entry.rule}) — the code it grandfathered is gone; "
+            f"remove it from the baseline"
+        )
+    lines.append(
+        f"checked {result.files_checked} files: "
+        f"{len(result.active)} active, "
+        f"{len(result.grandfathered)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+        + (f", {len(result.stale_entries)} stale baseline entries"
+           if result.stale_entries else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    document: Dict[str, Any] = {
+        "tool": TOOL_NAME,
+        "files_checked": result.files_checked,
+        "exit_code": result.exit_code,
+        "findings": [_finding_dict(f) for f in result.active],
+        "grandfathered": [
+            dict(_finding_dict(finding), justification=entry.justification)
+            for finding, entry in result.grandfathered
+        ],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+        "stale_baseline_entries": [
+            {
+                "fingerprint": entry.fingerprint,
+                "rule": entry.rule,
+                "path": entry.path,
+            }
+            for entry in result.stale_entries
+        ],
+        "parse_errors": [
+            {"path": path, "message": message}
+            for path, message in result.parse_errors
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _finding_dict(finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "severity": finding.severity,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    rules_meta = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": _sarif_level(rule.severity),
+            },
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        _sarif_result(finding, suppressed=False)
+        for finding in result.active
+    ]
+    results.extend(
+        _sarif_result(finding, suppressed=True, justification=entry.justification)
+        for finding, entry in result.grandfathered
+    )
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "docs/LINT.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _sarif_level(severity: str) -> str:
+    return {"error": "error", "warning": "warning"}.get(severity, "warning")
+
+
+def _sarif_result(
+    finding, suppressed: bool, justification: str = ""
+) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        entry["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": justification,
+            }
+        ]
+    return entry
+
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "TOOL_NAME",
+    "render_human",
+    "render_json",
+    "render_sarif",
+]

@@ -1,0 +1,140 @@
+"""The lint runner: walk files, run rules, apply suppressions + baseline.
+
+Paths in findings are always the *lint-root-relative posix path*, so
+reports are identical no matter where the runner is invoked from and
+baseline fingerprints are stable across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from . import suppress
+from .base import Finding, ModuleSource, all_rules
+from .baseline import Baseline, BaselineEntry
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".venv",
+    "node_modules",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+}
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, pre-partitioned for reporting."""
+
+    #: findings that count against the exit code
+    active: List[Finding] = field(default_factory=list)
+    #: findings matched to a baseline entry (reported, never fatal)
+    grandfathered: List[Tuple[Finding, BaselineEntry]] = field(
+        default_factory=list
+    )
+    #: baseline entries whose code is gone — the baseline should shrink
+    stale_entries: List[BaselineEntry] = field(default_factory=list)
+    #: findings silenced by a justified inline suppression
+    suppressed: List[Finding] = field(default_factory=list)
+    #: files that failed to parse, as (path, message)
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        fatal = [f for f in self.active if f.severity == "error"]
+        if fatal or self.parse_errors:
+            return 1
+        return 0
+
+    def all_raw_findings(self) -> List[Finding]:
+        """Active + grandfathered, in report order (for --write-baseline)."""
+        return self.active + [finding for finding, _ in self.grandfathered]
+
+
+def discover(paths: Sequence[Path], root: Path) -> List[Tuple[Path, str]]:
+    """Expand ``paths`` into ``(file, relpath)`` pairs, sorted by relpath."""
+    seen = {}
+    for path in paths:
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = path.rglob("*.py")
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for file in candidates:
+            if any(part in _SKIP_DIRS for part in file.parts):
+                continue
+            relpath = _relativize(file, root)
+            seen[relpath] = file
+    return [(seen[relpath], relpath) for relpath in sorted(seen)]
+
+
+def _relativize(file: Path, root: Path) -> str:
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every registered rule over ``paths``.
+
+    ``root`` anchors relative paths (defaults to the current directory);
+    ``baseline`` partitions findings into active vs grandfathered;
+    ``only_rules`` restricts the run to the named rule ids.
+    """
+    root = root or Path.cwd()
+    baseline = baseline or Baseline.empty()
+    rules = all_rules()
+    if only_rules:
+        wanted = set(only_rules)
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    result = LintResult()
+    raw: List[Finding] = []
+    for file, relpath in discover(paths, root):
+        try:
+            module = ModuleSource.load(file, relpath)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            result.parse_errors.append((relpath, str(error)))
+            continue
+        # Reports and fingerprints use the root-relative path.
+        module.path = relpath
+        result.files_checked += 1
+        raw.extend(_lint_module(module, rules, result))
+    # Deterministic report order, independent of rule execution order.
+    raw.sort(key=lambda f: (f.path, f.line, f.column, f.rule, f.message))
+    active, grandfathered, stale = baseline.split(raw)
+    result.active = active
+    result.grandfathered = grandfathered
+    result.stale_entries = stale
+    return result
+
+
+def _lint_module(
+    module: ModuleSource, rules: Sequence, result: LintResult
+) -> List[Finding]:
+    suppressions, sup_findings = suppress.collect(module)
+    silenced = suppress.suppressed_rules_by_line(suppressions)
+    kept: List[Finding] = list(sup_findings)
+    for rule in rules:
+        for finding in rule.check(module):
+            if finding.rule in silenced.get(finding.line, set()):
+                result.suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return kept
+
+
+__all__ = ["LintResult", "discover", "lint_paths"]

@@ -1,0 +1,112 @@
+"""Inline suppressions: ``# repro-lint: disable=RULE -- justification``.
+
+A suppression silences the named rule(s) on its own line, or — when it
+is a standalone comment — on the next line that carries code.  The
+justification after ``--`` is **required**: a suppression without one
+does not suppress anything and instead surfaces as a ``SUP001``
+finding, so silencing a rule always costs a written sentence that
+reviewers can judge.  This mirrors the baseline policy (every
+grandfathered finding carries a justification) at line granularity.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .base import Finding, ModuleSource
+
+#: Rule id of the meta-finding for unjustified suppressions.  Kept as a
+#: module constant (not a registered Rule) because it can never itself
+#: be suppressed or baselined.
+SUP_RULE_ID = "SUP001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)(?:\s+--\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: line the suppression applies to (its own, or the next code line)
+    target_line: int
+
+
+def collect(module: ModuleSource) -> Tuple[List[Suppression], List[Finding]]:
+    """Parse every suppression comment in ``module``.
+
+    Returns the usable suppressions and one ``SUP001`` finding per
+    suppression whose justification is missing.
+    """
+    suppressions: List[Suppression] = []
+    problems: List[Finding] = []
+    for index, text in enumerate(module.lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        justification = (match.group(2) or "").strip()
+        standalone = text.strip().startswith("#")
+        target = _next_code_line(module, index) if standalone else index
+        if not justification:
+            problems.append(
+                Finding(
+                    rule=SUP_RULE_ID,
+                    path=module.path,
+                    line=index,
+                    column=text.find("#"),
+                    message=(
+                        f"suppression of {', '.join(rules)} has no "
+                        f"justification; write "
+                        f"'# repro-lint: disable={rules[0] if rules else 'RULE'}"
+                        f" -- <why this is safe>'"
+                    ),
+                    snippet=text.strip(),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                line=index,
+                rules=rules,
+                justification=justification,
+                target_line=target,
+            )
+        )
+    return suppressions, problems
+
+
+def _next_code_line(module: ModuleSource, after: int) -> int:
+    for index in range(after + 1, len(module.lines) + 1):
+        stripped = module.lines[index - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return index
+    return after
+
+
+def suppressed_rules_by_line(
+    suppressions: List[Suppression],
+) -> Dict[int, Set[str]]:
+    """line number → set of rule ids silenced on that line."""
+    by_line: Dict[int, Set[str]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.target_line, set()).update(
+            suppression.rules
+        )
+    return by_line
+
+
+__all__ = [
+    "SUP_RULE_ID",
+    "Suppression",
+    "collect",
+    "suppressed_rules_by_line",
+]

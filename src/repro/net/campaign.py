@@ -29,6 +29,7 @@ from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
 from ..energy.power_model import MICA2, PowerModel
 from ..obs import metrics, trace
 from .dissemination import PATCH_CYCLES_PER_BYTE, NodeLedger
+from .errors import NetConfigError
 from .faults import FaultPlan
 from .lossy import NACK_BYTES
 from .node_state import APPLY_ROUNDS, NodeUpdateState, packetise_blob
@@ -177,7 +178,9 @@ def run_campaign(
     ``"partial"`` report.  Deterministic given ``(seed, plan)``.
     """
     if not 0.0 <= loss < 1.0:
-        raise ValueError(f"loss probability {loss} out of [0, 1)")
+        raise NetConfigError(
+            "loss", loss, f"loss probability {loss} out of [0, 1)"
+        )
     plan = plan if plan is not None else FaultPlan()
     with trace.span(
         "campaign.run",

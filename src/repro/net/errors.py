@@ -62,4 +62,54 @@ class DisseminationIncomplete(RuntimeError):
         )
 
 
-__all__ = ["DisconnectedTopologyError", "DisseminationIncomplete"]
+class NetConfigError(ValueError):
+    """A network-layer parameter is out of its documented range.
+
+    Carries the offending ``parameter`` name and ``value`` so callers
+    (the CLI, the fleet service) can report the bad knob without
+    parsing the message.  Subclasses :class:`ValueError` so existing
+    ``except ValueError`` handlers and tests keep working.
+    """
+
+    def __init__(self, parameter: str, value: object, message: str):
+        self.parameter = parameter
+        self.value = value
+        super().__init__(message)
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan element (crash, partition, probability) is invalid.
+
+    Raised by the ``__post_init__`` validators of
+    :class:`repro.net.faults.NodeCrash`,
+    :class:`~repro.net.faults.PartitionWindow`, and
+    :class:`~repro.net.faults.FaultPlan`; ``field`` names the invalid
+    attribute and ``value`` holds what was passed.
+    """
+
+    def __init__(self, field: str, value: object, message: str):
+        self.field = field
+        self.value = value
+        super().__init__(message)
+
+
+class TopologyError(ValueError):
+    """A topology cannot be built as specified.
+
+    Covers both an unknown ``kind`` selector and a random-geometric
+    sample that never produced a connected network; ``kind`` names the
+    topology family involved.
+    """
+
+    def __init__(self, kind: str, message: str):
+        self.kind = kind
+        super().__init__(message)
+
+
+__all__ = [
+    "DisconnectedTopologyError",
+    "DisseminationIncomplete",
+    "FaultPlanError",
+    "NetConfigError",
+    "TopologyError",
+]

@@ -33,6 +33,7 @@ import random
 from dataclasses import asdict, dataclass
 
 from ..obs import metrics, trace
+from .errors import FaultPlanError
 
 
 @dataclass(frozen=True)
@@ -53,16 +54,21 @@ class NodeCrash:
 
     def __post_init__(self):
         if self.node < 1:
-            raise ValueError(
+            raise FaultPlanError(
+                "node", self.node,
                 f"NodeCrash.node must be >= 1 (the sink never crashes), "
-                f"got {self.node}"
+                f"got {self.node}",
             )
         if self.round < 1:
-            raise ValueError(f"NodeCrash.round must be >= 1, got {self.round}")
+            raise FaultPlanError(
+                "round", self.round,
+                f"NodeCrash.round must be >= 1, got {self.round}",
+            )
         if self.reboot_round is not None and self.reboot_round <= self.round:
-            raise ValueError(
+            raise FaultPlanError(
+                "reboot_round", self.reboot_round,
                 f"NodeCrash.reboot_round must come after the crash round "
-                f"{self.round}, got {self.reboot_round}"
+                f"{self.round}, got {self.reboot_round}",
             )
 
 
@@ -76,19 +82,25 @@ class PartitionWindow:
 
     def __post_init__(self):
         if self.start < 1:
-            raise ValueError(
-                f"PartitionWindow.start must be >= 1, got {self.start}"
+            raise FaultPlanError(
+                "start", self.start,
+                f"PartitionWindow.start must be >= 1, got {self.start}",
             )
         if self.end <= self.start:
-            raise ValueError(
+            raise FaultPlanError(
+                "end", self.end,
                 f"PartitionWindow.end must exceed start {self.start}, "
-                f"got {self.end}"
+                f"got {self.end}",
             )
         if not self.nodes:
-            raise ValueError("PartitionWindow.nodes must not be empty")
+            raise FaultPlanError(
+                "nodes", self.nodes,
+                "PartitionWindow.nodes must not be empty",
+            )
         if 0 in self.nodes:
-            raise ValueError(
-                "PartitionWindow.nodes must not contain the sink (node 0)"
+            raise FaultPlanError(
+                "nodes", self.nodes,
+                "PartitionWindow.nodes must not contain the sink (node 0)",
             )
 
     def severs(self, a: int, b: int, round_no: int) -> bool:
@@ -115,19 +127,22 @@ class FaultPlan:
 
     def __post_init__(self):
         if not 0.0 <= self.corrupt_prob < 1.0:
-            raise ValueError(
+            raise FaultPlanError(
+                "corrupt_prob", self.corrupt_prob,
                 f"FaultPlan.corrupt_prob must be in [0, 1), "
-                f"got {self.corrupt_prob}"
+                f"got {self.corrupt_prob}",
             )
         if not 0.0 <= self.duplicate_prob < 1.0:
-            raise ValueError(
+            raise FaultPlanError(
+                "duplicate_prob", self.duplicate_prob,
                 f"FaultPlan.duplicate_prob must be in [0, 1), "
-                f"got {self.duplicate_prob}"
+                f"got {self.duplicate_prob}",
             )
         crashed = [crash.node for crash in self.crashes]
         if len(crashed) != len(set(crashed)):
-            raise ValueError(
-                f"FaultPlan schedules multiple crashes for one node: {crashed}"
+            raise FaultPlanError(
+                "crashes", tuple(crashed),
+                f"FaultPlan schedules multiple crashes for one node: {crashed}",
             )
 
     @property

@@ -22,7 +22,7 @@ from ..diff.packets import Packetisation
 from ..energy.power_model import MICA2, PowerModel
 from ..obs import metrics, trace
 from .dissemination import NodeLedger
-from .errors import DisconnectedTopologyError
+from .errors import DisconnectedTopologyError, NetConfigError
 from .topology import Topology
 
 #: NACK size on the wire, bytes (header + bitmap chunk).
@@ -82,7 +82,9 @@ def disseminate_lossy(
     ``max_rounds`` elapses — reported via ``complete``).
     """
     if not 0.0 <= loss < 1.0:
-        raise ValueError(f"loss probability {loss} out of [0, 1)")
+        raise NetConfigError(
+            "loss", loss, f"loss probability {loss} out of [0, 1)"
+        )
     if not topology.is_connected():
         # Fail fast instead of spinning the whole round budget on nodes
         # the sink can never reach.

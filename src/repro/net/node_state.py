@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from .errors import NetConfigError
 
 #: Rounds a complete, verified staging bank takes to write to the
 #: inactive flash bank before the boot-pointer flip (the window in
@@ -68,8 +69,9 @@ class ScriptPacket:
 def packetise_blob(blob: bytes, payload_per_packet: int) -> list[ScriptPacket]:
     """Split the wire blob into CRC-trailed script packets."""
     if payload_per_packet < 1:
-        raise ValueError(
-            f"payload_per_packet must be >= 1, got {payload_per_packet}"
+        raise NetConfigError(
+            "payload_per_packet", payload_per_packet,
+            f"payload_per_packet must be >= 1, got {payload_per_packet}",
         )
     return [
         ScriptPacket.make(i, blob[start : start + payload_per_packet])

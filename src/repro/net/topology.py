@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from .errors import TopologyError
 
 
 @dataclass
@@ -122,9 +123,10 @@ def random_geometric(
         topo = Topology(positions=positions, neighbors=neighbors)
         if topo.is_connected():
             return topo
-    raise ValueError(
+    raise TopologyError(
+        "random",
         f"could not sample a connected network of {node_count} nodes with "
-        f"range {radio_range}"
+        f"range {radio_range}",
     )
 
 
@@ -149,4 +151,6 @@ def build_topology(
         return line(nodes, spacing)
     if kind == "random":
         return random_geometric(nodes, radio_range=radio_range, seed=seed)
-    raise ValueError(f"unknown topology kind {kind!r}; expected grid/line/random")
+    raise TopologyError(
+        kind, f"unknown topology kind {kind!r}; expected grid/line/random"
+    )

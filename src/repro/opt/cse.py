@@ -58,27 +58,46 @@ def _expr_key(ins: IRInstr) -> tuple | None:
     return tuple(parts)
 
 
+class _BlockState:
+    """Per-block CSE state: available expressions and their dependents.
+
+    A class (rather than closures defined inside the block loop) so the
+    kill helpers bind this block's dicts explicitly — closures in a
+    loop capture the *variables* and would silently track whichever
+    block the loop reached last (ruff B023).
+    """
+
+    def __init__(self) -> None:
+        self.available: dict[tuple, VReg] = {}
+        # which expression keys depend on a given vreg / memory symbol
+        self.by_vreg: dict[str, set[tuple]] = {}
+        self.by_symbol: dict[str, set[tuple]] = {}
+
+    def kill_vreg(self, name: str) -> None:
+        for key in self.by_vreg.pop(name, set()):
+            self.available.pop(key, None)
+
+    def kill_symbol(self, symbol: str) -> None:
+        for key in self.by_symbol.pop(symbol, set()):
+            self.available.pop(key, None)
+
+    def kill_all_memory(self) -> None:
+        for symbol in list(self.by_symbol):
+            self.kill_symbol(symbol)
+
+
 def eliminate_common_subexpressions(fn: IRFunction) -> bool:
     """Run block-local CSE over ``fn``; returns True if anything changed."""
     cfg = build_cfg(fn)
     changed = False
     for block in cfg.blocks:
-        available: dict[tuple, VReg] = {}
-        # which expression keys depend on a given vreg / memory symbol
-        by_vreg: dict[str, set[tuple]] = {}
-        by_symbol: dict[str, set[tuple]] = {}
-
-        def kill_vreg(name: str) -> None:
-            for key in by_vreg.pop(name, set()):
-                available.pop(key, None)
-
-        def kill_symbol(symbol: str) -> None:
-            for key in by_symbol.pop(symbol, set()):
-                available.pop(key, None)
-
-        def kill_all_memory() -> None:
-            for symbol in list(by_symbol):
-                kill_symbol(symbol)
+        state = _BlockState()
+        available = state.available
+        by_vreg = state.by_vreg
+        by_symbol = state.by_symbol
+        kill_vreg = state.kill_vreg
+        kill_symbol = state.kill_symbol
+        kill_all_memory = state.kill_all_memory
 
         for index in block.instruction_indices():
             ins = fn.instrs[index]

@@ -1,0 +1,41 @@
+"""DIGEST-TAINT fixture: nondeterminism flowing into digest sinks."""
+
+import hashlib
+import json
+import os
+import time
+
+
+def stamped_digest(payload: bytes) -> str:
+    stamp = time.time()  # wall clock
+    return hashlib.sha256(payload + str(stamp).encode()).hexdigest()
+
+
+def member_digest(members: set) -> str:
+    h = hashlib.sha256()
+    for member in members:  # unsorted set iteration
+        h.update(str(member).encode())
+    return h.hexdigest()
+
+
+def keys_digest(table: dict) -> str:
+    names = ",".join(table.keys())  # raw dict view, order implicit
+    return hashlib.sha256(names.encode()).hexdigest()
+
+
+def _digest(blob: str) -> str:
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def helper_digest() -> str:
+    host = os.environ["HOSTNAME"]  # ambient state into a sink helper
+    return _digest(host)
+
+
+def repr_digest(config: object) -> str:
+    blob = json.dumps(config, default=str)  # repr fallback for unknowns
+    return _digest(blob)
+
+
+def identity_digest(config: object) -> str:
+    return _digest(str(id(config)))  # memory address

@@ -1,0 +1,15 @@
+"""FROZEN001 fixture: mutating a frozen, content-addressed config."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    ra: str = "gcc"
+    budget: int = 0
+
+    def bump(self) -> None:
+        self.budget = self.budget + 1  # assignment on frozen self
+
+    def rename(self, ra: str) -> None:
+        object.__setattr__(self, "ra", ra)  # freeze bypass outside init

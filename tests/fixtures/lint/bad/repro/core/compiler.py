@@ -1,0 +1,6 @@
+"""OBS001 fixture: the catalogued entry point forgot its span."""
+
+
+class Compiler:
+    def compile(self, source: str) -> str:
+        return source.upper()

@@ -1,0 +1,16 @@
+"""ERR001 fixture: bare builtin raises inside the net layer."""
+
+
+def validate(loss: float) -> None:
+    if not 0.0 <= loss < 1.0:
+        raise ValueError(f"loss {loss} out of range")
+
+
+def finish(rounds: int, budget: int) -> None:
+    if rounds >= budget:
+        raise RuntimeError("round budget exhausted")
+
+
+def check(rebuilt: bytes, expected: bytes) -> None:
+    if rebuilt != expected:
+        raise AssertionError("patch diverged")

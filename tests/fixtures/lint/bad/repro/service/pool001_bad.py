@@ -1,0 +1,21 @@
+"""POOL001 fixture: unpicklable callables handed to the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def work(self, job: int) -> int:
+        return job * 2
+
+
+def run(jobs: list) -> list:
+    runner = Runner()
+    pool = ProcessPoolExecutor(max_workers=2)
+
+    def local_work(job: int) -> int:  # closure over nothing, still nested
+        return job * 2
+
+    futures = [pool.submit(lambda j: j * 2, job) for job in jobs]
+    futures.append(pool.submit(local_work, 1))
+    futures.append(pool.submit(runner.work, 2))
+    return [future.result() for future in futures]

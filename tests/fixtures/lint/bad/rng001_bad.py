@@ -1,0 +1,18 @@
+"""RNG001 fixture: non-derived seeds."""
+
+import random
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)  # integer passthrough: not derived
+    return rng.random()
+
+
+def ambient() -> float:
+    rng = random.Random()  # ambient entropy
+    return rng.random()
+
+
+def wrong_shape(seed: int) -> float:
+    rng = random.Random(x=seed)  # keyword form
+    return rng.random()

@@ -1,0 +1,8 @@
+"""SUP001 fixture: a suppression with no justification suppresses nothing."""
+
+import random
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)  # repro-lint: disable=RNG001
+    return rng.random()

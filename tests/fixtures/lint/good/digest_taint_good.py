@@ -1,0 +1,33 @@
+"""DIGEST-TAINT fixture: the disciplined versions of the same digests."""
+
+import hashlib
+import json
+import time
+
+
+def content_digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def member_digest(members: set) -> str:
+    h = hashlib.sha256()
+    for member in sorted(members):  # sorted() fixes iteration order
+        h.update(str(member).encode())
+    return h.hexdigest()
+
+
+def keys_digest(table: dict) -> str:
+    names = ",".join(sorted(table.keys()))
+    return hashlib.sha256(names.encode()).hexdigest()
+
+
+def canonical_digest(config: dict) -> str:
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def timed_digest(payload: bytes) -> tuple:
+    # Wall clock is fine as long as it stays out of the preimage.
+    start = time.perf_counter()
+    digest = hashlib.sha256(payload).hexdigest()
+    return digest, time.perf_counter() - start

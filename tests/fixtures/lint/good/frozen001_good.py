@@ -1,0 +1,15 @@
+"""FROZEN001 fixture: normalisation in __post_init__ is sanctioned."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Config:
+    ra: str = "gcc"
+    budget: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "ra", self.ra.lower())
+
+    def bumped(self) -> "Config":
+        return replace(self, budget=self.budget + 1)

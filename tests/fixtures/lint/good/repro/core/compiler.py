@@ -1,0 +1,14 @@
+"""OBS001 fixture: the catalogued entry point opens its span."""
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def span(name: str, **fields):
+    yield
+
+
+class Compiler:
+    def compile(self, source: str) -> str:
+        with span("compile.full", source_bytes=len(source)):
+            return source.upper()

@@ -1,0 +1,17 @@
+"""ERR001 fixture: structured errors keep the net layer clean."""
+
+
+class LossRangeError(ValueError):
+    def __init__(self, loss: float):
+        self.loss = loss
+        super().__init__(f"loss {loss} out of range")
+
+
+def validate(loss: float) -> None:
+    if not 0.0 <= loss < 1.0:
+        raise LossRangeError(loss)
+
+
+def reraise(error: Exception) -> None:
+    # Re-raising a caught object (not a bare constructor) is fine.
+    raise error

@@ -1,0 +1,13 @@
+"""POOL001 fixture: module-level callables pickle by qualified name."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(job: int) -> int:
+    return job * 2
+
+
+def run(jobs: list) -> list:
+    pool = ProcessPoolExecutor(max_workers=2)
+    futures = [pool.submit(work, job) for job in jobs]
+    return [future.result() for future in futures]

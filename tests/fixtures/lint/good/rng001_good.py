@@ -1,0 +1,13 @@
+"""RNG001 fixture: derived string seeds, namespaced per component."""
+
+import random
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(f"repro-fixture:{seed}")
+    return rng.random()
+
+
+def fixed() -> float:
+    rng = random.Random("repro-fixture:0")
+    return rng.random()

@@ -1,0 +1,14 @@
+"""SUP001 fixture: a justified suppression silences the rule on its line."""
+
+import random
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)  # repro-lint: disable=RNG001 -- fixture exercising the justified-suppression path
+    return rng.random()
+
+
+def draw_standalone(seed: int) -> float:
+    # repro-lint: disable=RNG001 -- standalone comment applies to the next code line
+    rng = random.Random(seed)
+    return rng.random()

@@ -16,6 +16,12 @@ Two checks, both against the working tree, no third-party deps:
    names as literals: a name routed through a variable is invisible
    here and would silently escape the contract.
 
+3. **Lint rule catalogue coverage.**  Every ``rule_id = "..."``
+   declared under ``src/repro/lint`` (plus the ``SUP001``
+   suppression meta-rule) must appear (backticked) in
+   ``docs/LINT.md`` — the registry is the source of truth and the
+   catalogue cannot drift from it.
+
 Exit status: 0 when both checks pass, 1 otherwise (one line per
 problem on stderr).
 """
@@ -40,6 +46,7 @@ DOC_FILES = (
 )
 
 CATALOGUE = "docs/OBSERVABILITY.md"
+LINT_CATALOGUE = "docs/LINT.md"
 
 #: [text](target) — excluding images; target up to the first ')' that
 #: is not preceded by an escape.
@@ -47,6 +54,7 @@ _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 
 _SPAN_RE = re.compile(r"\bspan\(\s*\"([a-z0-9_.]+)\"")
 _METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\(\s*\"([a-z0-9_.]+)\"")
+_RULE_ID_RE = re.compile(r"^\s*(?:rule_id|SUP_RULE_ID)\s*=\s*\"([A-Z0-9-]+)\"", re.M)
 
 
 def doc_files() -> list[Path]:
@@ -107,14 +115,38 @@ def check_catalogue() -> list[str]:
     return problems
 
 
+def declared_rule_ids() -> set[str]:
+    """``rule_id = "..."`` (and the SUP meta-rule) under src/repro/lint."""
+    rules: set[str] = set()
+    for source in sorted((REPO / "src" / "repro" / "lint").glob("*.py")):
+        rules.update(_RULE_ID_RE.findall(source.read_text(encoding="utf-8")))
+    return rules
+
+
+def check_lint_catalogue() -> list[str]:
+    catalogue_path = REPO / LINT_CATALOGUE
+    if not catalogue_path.exists():
+        return [f"{LINT_CATALOGUE} is missing"]
+    catalogue = catalogue_path.read_text(encoding="utf-8")
+    problems = []
+    for rule_id in sorted(declared_rule_ids()):
+        if f"`{rule_id}`" not in catalogue:
+            problems.append(
+                f"lint rule {rule_id!r} is declared in src/repro/lint but "
+                f"not catalogued in {LINT_CATALOGUE}"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_catalogue()
+    problems = check_links() + check_catalogue() + check_lint_catalogue()
     for problem in problems:
         print(problem, file=sys.stderr)
     spans, mets = emitted_names()
     print(
         f"check_docs: {len(doc_files())} docs, {len(spans)} spans, "
-        f"{len(mets)} metrics, {len(problems)} problem(s)"
+        f"{len(mets)} metrics, {len(declared_rule_ids())} lint rules, "
+        f"{len(problems)} problem(s)"
     )
     return 1 if problems else 0
 
