@@ -16,7 +16,11 @@ import pytest
 from repro.core import compile_source
 from repro.workloads import CASES
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+# Generated tables land here (gitignored); point REPRO_BENCH_OUT
+# somewhere else to keep the tree clean, e.g. in CI.
+OUT_DIR = os.environ.get(
+    "REPRO_BENCH_OUT", os.path.join(os.path.dirname(__file__), "out")
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,35 @@
+"""Machine-readable benchmark harness (``repro bench``).
+
+Runs pinned workloads from the paper's experiments — the Figure 8
+programs, the Figure 13-15 ILP jobs, the Figure 9 update cases, and the
+Figure 10 fleet batch — on both the fast path and the reference path
+(:mod:`repro.fastpath`), certifies the answers digest-identical, and
+emits schema-versioned ``BENCH_<area>.json`` reports that
+``tools/check_bench.py`` compares against the committed baselines in
+``benchmarks/baselines/``.
+"""
+
+from .harness import (
+    DEFAULT_REPS,
+    SCHEMA,
+    DigestMismatch,
+    report_path,
+    run_area,
+    run_workload,
+    write_report,
+)
+from .workloads import AREAS, EQUAL_METRICS, Workload, workloads_for
+
+__all__ = [
+    "AREAS",
+    "DEFAULT_REPS",
+    "DigestMismatch",
+    "EQUAL_METRICS",
+    "SCHEMA",
+    "Workload",
+    "report_path",
+    "run_area",
+    "run_workload",
+    "workloads_for",
+    "write_report",
+]

@@ -1,0 +1,170 @@
+"""Benchmark harness: run pinned workloads, emit ``BENCH_<area>.json``.
+
+Measurement protocol, per workload:
+
+1. ``setup()`` builds the payload once (untimed, mode-independent);
+2. ``reps`` rounds alternate the fast path and the reference path
+   (:mod:`repro.fastpath`) back to back, so machine noise — frequency
+   scaling, a neighbour stealing the core — hits both paths alike;
+3. every single run's digest is checked against every other run's:
+   a fast/reference divergence aborts the bench with
+   :class:`DigestMismatch` rather than producing a report.
+
+The report is schema-versioned JSON (``repro-bench/1``): per-workload
+median/p90/min wall milliseconds for both paths, the answer digest,
+workload metrics (constraint counts, iterations, script sizes), the
+median speedup, and process peak RSS.  ``tools/check_bench.py``
+compares a fresh report against the committed baseline in
+``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import resource
+import time
+from pathlib import Path
+
+from ..fastpath import reference_mode
+from .workloads import AREAS, EQUAL_METRICS, Workload, workloads_for
+
+SCHEMA = "repro-bench/1"
+
+#: (full, quick) measurement rounds per area.  Quick mode runs the
+#: *same* workloads — digests stay comparable with the baseline — just
+#: fewer times.
+DEFAULT_REPS = {
+    "compile": (5, 2),
+    "ilp": (5, 2),
+    "diff": (5, 2),
+    "campaign": (3, 1),
+}
+
+
+class DigestMismatch(AssertionError):
+    """The fast path and the reference path disagreed on an answer."""
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _p90(values: list[float]) -> float:
+    ordered = sorted(values)
+    index = max(0, math.ceil(0.9 * len(ordered)) - 1)
+    return ordered[index]
+
+
+def _stats_ms(samples: list[float]) -> dict:
+    return {
+        "median_ms": round(_median(samples) * 1000.0, 3),
+        "p90_ms": round(_p90(samples) * 1000.0, 3),
+        "min_ms": round(min(samples) * 1000.0, 3),
+    }
+
+
+def _timed(workload: Workload, payload: object) -> "tuple[float, str, dict]":
+    start = time.perf_counter()
+    digest, metrics = workload.job(payload)
+    return time.perf_counter() - start, digest, metrics
+
+
+def run_workload(workload: Workload, reps: int) -> dict:
+    """Measure one workload; raise :class:`DigestMismatch` if the two
+    paths ever disagree on the digest or a pinned-equal metric."""
+    payload = workload.setup()
+    fast_times: list[float] = []
+    ref_times: list[float] = []
+    digest = None
+    fast_metrics: dict = {}
+    ref_metrics: dict = {}
+    # One untimed warm-up round per path: the first execution pays
+    # allocator growth and cold caches that would skew the first rep.
+    workload.job(payload)
+    with reference_mode(True):
+        workload.job(payload)
+    for _ in range(reps):
+        elapsed, fast_digest, fast_metrics = _timed(workload, payload)
+        fast_times.append(elapsed)
+        with reference_mode(True):
+            elapsed, ref_digest, ref_metrics = _timed(workload, payload)
+        ref_times.append(elapsed)
+        if fast_digest != ref_digest:
+            raise DigestMismatch(
+                f"{workload.name}: fast digest {fast_digest[:16]}… != "
+                f"reference digest {ref_digest[:16]}…"
+            )
+        if digest is not None and fast_digest != digest:
+            raise DigestMismatch(
+                f"{workload.name}: digest changed between reps "
+                f"({digest[:16]}… → {fast_digest[:16]}…)"
+            )
+        digest = fast_digest
+        for key in EQUAL_METRICS:
+            if key in fast_metrics and fast_metrics[key] != ref_metrics.get(key):
+                raise DigestMismatch(
+                    f"{workload.name}: metric {key!r} diverged "
+                    f"(fast={fast_metrics[key]!r}, reference={ref_metrics.get(key)!r})"
+                )
+    fast = _stats_ms(fast_times)
+    reference = _stats_ms(ref_times)
+    speedup = reference["median_ms"] / fast["median_ms"] if fast["median_ms"] else 1.0
+    return {
+        "name": workload.name,
+        "digest": digest,
+        "metrics": {
+            key: value
+            for key, value in fast_metrics.items()
+            if key in EQUAL_METRICS or not key.startswith("time_")
+        },
+        "fast": fast,
+        "reference": reference,
+        "speedup_median": round(speedup, 3),
+    }
+
+
+def run_area(area: str, reps: int | None = None, quick: bool = False) -> dict:
+    """Run every pinned workload of ``area`` and build its report."""
+    if area not in AREAS:
+        raise ValueError(f"unknown bench area {area!r}; expected one of {AREAS}")
+    if reps is None:
+        full, fast_reps = DEFAULT_REPS[area]
+        reps = fast_reps if quick else full
+    rows = [run_workload(workload, reps) for workload in workloads_for(area)]
+    speedups = [row["speedup_median"] for row in rows]
+    return {
+        "schema": SCHEMA,
+        "area": area,
+        "reps": reps,
+        "quick": quick,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "workloads": rows,
+        "summary": {
+            "workloads": len(rows),
+            "median_speedup": round(_median(speedups), 3),
+            "min_speedup": round(min(speedups), 3),
+        },
+    }
+
+
+def report_path(area: str, out_dir: "str | Path") -> Path:
+    return Path(out_dir) / f"BENCH_{area}.json"
+
+
+def write_report(report: dict, out_dir: "str | Path") -> Path:
+    """Write ``BENCH_<area>.json`` under ``out_dir`` (created if needed)."""
+    path = report_path(report["area"], out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,304 @@
+"""Pinned benchmark workloads, one list per area.
+
+Each workload is a named, deterministic unit of work drawn from the
+paper's experiments:
+
+* ``compile`` — the Figure 8 benchmark programs, compiled end to end
+  (front end, register allocation, selection, assembly);
+* ``ilp``     — the Figure 13-15 ILP jobs: build the chunk model for a
+  synthetic straight-line function of pinned size, lower it, and solve
+  it with the instrumented branch & bound;
+* ``diff``    — the Figure 9 update cases, planned end to end to an
+  edit script;
+* ``campaign`` — the Figure 10 / acceptance 16-job fleet batch through
+  :class:`~repro.service.FleetUpdateService`, cold and warm.
+
+A workload's ``job`` callable returns ``(digest, metrics)``.  The
+digest must be a pure function of the answer (never of wall time), so
+the harness can run the same job on the fast and the reference path
+(:mod:`repro.fastpath`) and certify the answers bit-identical while it
+measures the speedup.  ``metrics`` entries named in
+``EQUAL_METRICS`` are asserted equal between the two paths as well
+(iteration counts are guaranteed equal by the kernel contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import CompileConfig, FleetJob, UpdateConfig
+from ..core import compile_source, plan_update
+from ..core.compiler import Compiler, CompilerOptions
+from ..energy import DEFAULT_ENERGY_MODEL
+from ..ilp.branch_bound import solve_branch_bound
+from ..ilp.canonical import SOLVE_CACHE
+from ..ir import analyze, static_frequencies
+from ..regalloc import allocate_ucc_greedy, build_chunk_model
+from ..regalloc.chunks import changed_indices
+from ..regalloc.ilp_ra import build_spec_for_chunk
+from ..workloads import CASES
+from ..workloads.programs import PROGRAMS
+
+AREAS = ("compile", "ilp", "diff", "campaign")
+
+#: Metric keys that must be equal between the fast and reference runs
+#: of one workload (on top of the digest, which always must).
+EQUAL_METRICS = ("constraints", "variables", "simplex_iterations", "lp_solves")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One pinned unit of work.
+
+    ``setup`` builds the (mode-independent) payload once; ``job`` runs
+    the measured work and returns ``(digest, metrics)``.
+    """
+
+    name: str
+    setup: Callable[[], object]
+    job: Callable[[object], "tuple[str, dict]"]
+
+
+def _sha(payload: object) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# ilp: Figure 13-15 jobs
+# ---------------------------------------------------------------------------
+
+#: Statement counts of the pinned Figure 13-15 sweep.
+ILP_SIZES = (8, 12, 16, 20, 24, 32)
+
+
+def synthetic_chunk_source(n_stmts: int, n_vars: int = 3) -> str:
+    """A straight-line function of ``n_stmts`` statements over
+    ``n_vars`` u8 locals — the same shape the Figure 13-15 benchmarks
+    sweep (``benchmarks/conftest.py``)."""
+    decls = "\n    ".join(f"u8 v{i} = {i + 1};" for i in range(n_vars))
+    ops = ["+", "^", "|", "&", "-"]
+    lines = []
+    for s in range(n_stmts):
+        dst = s % n_vars
+        lhs = (s + 1) % n_vars
+        rhs = (s + 2) % n_vars
+        op = ops[s % len(ops)]
+        lines.append(f"v{dst} = v{lhs} {op} v{rhs};")
+    body = "\n    ".join(lines)
+    uses = " ^ ".join(f"v{i}" for i in range(n_vars))
+    return f"""
+void f() {{
+    {decls}
+    {body}
+    led_set({uses});
+}}
+void main() {{ f(); halt(); }}
+"""
+
+
+def ilp_spec(n_stmts: int, candidates: int = 3):
+    """The chunk-allocation ILP spec for a synthetic function of
+    ``n_stmts`` statements."""
+    source = synthetic_chunk_source(n_stmts)
+    old = compile_source(source)
+    module = Compiler(CompilerOptions()).front_and_middle(source)
+    fn = module.functions["f"]
+    record, report = allocate_ucc_greedy(
+        fn, old.module.functions["f"], old.records["f"]
+    )
+    info = analyze(fn)
+    freqs = static_frequencies(fn)
+    changed = changed_indices(fn, report.match)
+    return build_spec_for_chunk(
+        fn,
+        info,
+        record,
+        report,
+        0,
+        len(fn.instrs),
+        changed,
+        freqs,
+        DEFAULT_ENERGY_MODEL,
+        1000.0,
+        candidates,
+    )
+
+
+def _ilp_job(spec) -> "tuple[str, dict]":
+    program = build_chunk_model(spec)
+    result = solve_branch_bound(program)
+    digest = _sha(
+        {
+            "status": result.status,
+            "values": sorted(result.values.items()),
+            "objective": repr(result.objective),
+        }
+    )
+    return digest, {
+        "variables": program.num_variables,
+        "constraints": program.num_constraints,
+        "simplex_iterations": result.stats.simplex_iterations,
+        "lp_solves": result.stats.lp_solves,
+        "time_per_iteration_us": round(result.stats.time_per_iteration * 1e6, 3),
+    }
+
+
+def _ilp_workloads() -> list[Workload]:
+    return [
+        Workload(
+            name=f"fig13_15_n{size:02d}",
+            setup=(lambda size=size: ilp_spec(size)),
+            job=_ilp_job,
+        )
+        for size in ILP_SIZES
+    ]
+
+
+# ---------------------------------------------------------------------------
+# compile: Figure 8 programs
+# ---------------------------------------------------------------------------
+
+
+def _compile_job(source: str) -> "tuple[str, dict]":
+    program = compile_source(source)
+    image = program.image
+    digest = _sha(
+        {
+            "code": hashlib.sha256(image.to_bytes()).hexdigest(),
+            "data": hashlib.sha256(image.data).hexdigest(),
+            "entry": image.entry,
+        }
+    )
+    return digest, {
+        "instructions": image.instruction_count(),
+        "size_bytes": image.size_bytes,
+    }
+
+
+def _compile_workloads() -> list[Workload]:
+    return [
+        Workload(
+            name=f"fig08_{name}",
+            setup=(lambda name=name: PROGRAMS[name]),
+            job=_compile_job,
+        )
+        for name in sorted(PROGRAMS)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# diff: Figure 9 update cases
+# ---------------------------------------------------------------------------
+
+#: Update cases of the Figure 9 grid the diff area re-plans (the full
+#: grid lives in ``benchmarks/test_fig09_update_cases.py``; these six
+#: span data-only, code-only, and mixed edits).
+DIFF_CASE_IDS = ("1", "3", "6", "9", "12", "13")
+
+
+def _diff_job(payload) -> "tuple[str, dict]":
+    old, new_source = payload
+    # The process-wide solve memo would let later reps skip the work
+    # earlier reps already paid for; start every rep cold.
+    SOLVE_CACHE.clear()
+    result = plan_update(old, new_source, config=UpdateConfig(ra="ucc", da="ucc"))
+    script = result.diff.script
+    blob = script.to_bytes()
+    digest = _sha(
+        {
+            "script": hashlib.sha256(blob).hexdigest(),
+            "data": hashlib.sha256(result.data_script.to_bytes()).hexdigest(),
+        }
+    )
+    return digest, {
+        "script_bytes": len(blob),
+        "diff_inst": result.diff.diff_inst,
+    }
+
+
+def _diff_workloads() -> list[Workload]:
+    def make_setup(case_id):
+        def setup():
+            case = CASES[case_id]
+            return compile_source(case.old_source), case.new_source
+
+        return setup
+
+    return [
+        Workload(name=f"fig09_case{case_id}", setup=make_setup(case_id), job=_diff_job)
+        for case_id in DIFF_CASE_IDS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# campaign: the 16-job fleet batch, cold and warm
+# ---------------------------------------------------------------------------
+
+#: (case_id, ra, da) grid of the acceptance batch — 16 jobs over the
+#: Figure 9 cases, mirroring ``tests/test_service.py``.
+CAMPAIGN_GRID = tuple(
+    (case_id, ra, da)
+    for case_id in ("1", "3", "6", "9")
+    for ra, da in (("ucc", "ucc"), ("ucc-ilp", "ucc"), ("gcc", "gcc"), ("linear", "ucc"))
+)
+
+
+def _campaign_jobs() -> list[FleetJob]:
+    jobs = []
+    for case_id, ra, da in CAMPAIGN_GRID:
+        case = CASES[case_id]
+        jobs.append(
+            FleetJob(
+                old_source=case.old_source,
+                new_source=case.new_source,
+                compile=CompileConfig(),
+                update=UpdateConfig(ra=ra, da=da),
+                topology=None,
+                job_id=f"case{case_id}/{ra}/{da}",
+            )
+        )
+    return jobs
+
+
+def _campaign_job(jobs) -> "tuple[str, dict]":
+    # A fresh service per run: the measured unit is the cold batch plus
+    # the warm-cache replay (the paper's fleet re-acceptance pattern).
+    # Clear the process-wide solve memo so every rep pays the same
+    # cold-batch ILP work.
+    from ..service import FleetUpdateService
+
+    SOLVE_CACHE.clear()
+    service = FleetUpdateService(workers=1)
+    cold = service.run(jobs)
+    warm = service.run(jobs)
+    cold_metrics = [outcome.key_metrics() for outcome in cold.outcomes]
+    warm_metrics = [outcome.key_metrics() for outcome in warm.outcomes]
+    digest = _sha({"cold": cold_metrics, "warm": warm_metrics})
+    return digest, {
+        "jobs": len(jobs),
+        "ok": int(cold.ok and warm.ok),
+        "job_cache_hits": warm.job_cache_hits,
+    }
+
+
+def _campaign_workloads() -> list[Workload]:
+    return [
+        Workload(name="fig10_batch16", setup=_campaign_jobs, job=_campaign_job)
+    ]
+
+
+def workloads_for(area: str) -> list[Workload]:
+    """The pinned workload list of one area."""
+    if area == "compile":
+        return _compile_workloads()
+    if area == "ilp":
+        return _ilp_workloads()
+    if area == "diff":
+        return _diff_workloads()
+    if area == "campaign":
+        return _campaign_workloads()
+    raise ValueError(f"unknown bench area {area!r}; expected one of {AREAS}")

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..fastpath import fastpath_enabled
 from .model import IntegerProgram
 from .simplex import LPResult, SimplexStats, solve_lp
 
@@ -65,6 +66,13 @@ class _Matrices:
 
 def build_matrices(problem: IntegerProgram) -> _Matrices:
     """Lower the modelling layer to dense matrices (>= rows negated)."""
+    if fastpath_enabled():
+        return _build_matrices_fast(problem)
+    return _build_matrices_reference(problem)
+
+
+def _build_matrices_reference(problem: IntegerProgram) -> _Matrices:
+    """Reference lowering: one dense row allocated per constraint."""
     names = list(problem.variables)
     index = {name: j for j, name in enumerate(names)}
     n = len(names)
@@ -102,6 +110,59 @@ def build_matrices(problem: IntegerProgram) -> _Matrices:
     )
 
 
+def _build_matrices_fast(problem: IntegerProgram) -> _Matrices:
+    """Fast lowering: one scatter-add over a COO view of all terms.
+
+    ``np.add.at`` applies duplicate-index additions in entry order,
+    which is exactly the per-row ``+=`` order of the reference
+    lowering, and whole-row negation of ``>=`` constraints is exact in
+    IEEE-754 — so both lowerings produce bit-equal matrices.
+    """
+    names = list(problem.variables)
+    index = problem._var_index
+    n = len(names)
+    c = np.zeros(n)
+    if problem.objective:
+        c[[index[var] for var in problem.objective]] = list(problem.objective.values())
+
+    rows, cols, coeffs, senses, rhs_list = problem.constraint_coo()
+    n_cons = len(senses)
+    dense = np.zeros((n_cons, n))
+    if rows:
+        np.add.at(dense, (rows, cols), coeffs)
+    rhs = np.asarray(rhs_list, dtype=float) if n_cons else np.zeros(0)
+    codes = np.fromiter(
+        (0 if s == "<=" else 1 if s == ">=" else 2 for s in senses),
+        dtype=np.int8,
+        count=n_cons,
+    )
+    ge = codes == 1
+    if ge.any():
+        dense[ge] = -dense[ge]
+        rhs[ge] = -rhs[ge]
+
+    ub_mask = codes <= 1
+    eq_mask = codes == 2
+    a_eq = dense[eq_mask]
+    b_eq = rhs[eq_mask]
+    if problem.fixed:
+        fixed_cols = np.asarray([index[var] for var in problem.fixed], dtype=np.intp)
+        fixed_rows = np.zeros((fixed_cols.size, n))
+        fixed_rows[np.arange(fixed_cols.size), fixed_cols] = 1.0
+        a_eq = np.vstack([a_eq, fixed_rows]) if a_eq.shape[0] else fixed_rows
+        fixed_rhs = np.asarray(list(problem.fixed.values()), dtype=float)
+        b_eq = np.concatenate([b_eq, fixed_rhs])
+
+    return _Matrices(
+        c=c,
+        a_ub=dense[ub_mask],
+        b_ub=rhs[ub_mask],
+        a_eq=a_eq,
+        b_eq=b_eq,
+        names=names,
+    )
+
+
 def solve_branch_bound(
     problem: IntegerProgram,
     incumbent: dict[str, int] | None = None,
@@ -123,21 +184,39 @@ def solve_branch_bound(
         best_values = {name: incumbent.get(name, 0) for name in mat.names}
         best_objective = problem.evaluate(best_values) - problem.objective_constant
 
+    fast = fastpath_enabled()
+
     def solve_node(lo: np.ndarray, hi: np.ndarray) -> LPResult:
-        # Variables fixed by branching become bound rows.
-        extra_rows = []
-        extra_rhs = []
-        for j in range(n):
-            if lo[j] > 0.5:  # x_j >= 1  ->  -x_j <= -1
-                row = np.zeros(n)
-                row[j] = -1.0
-                extra_rows.append(row)
-                extra_rhs.append(-1.0)
+        # Variables fixed to 1 by branching become bound rows
+        # (x_j >= 1  ->  -x_j <= -1), in ascending variable order on
+        # both paths.
         a_ub = mat.a_ub
         b_ub = mat.b_ub
-        if extra_rows:
-            a_ub = np.vstack([a_ub, np.array(extra_rows)]) if len(a_ub) else np.array(extra_rows)
-            b_ub = np.concatenate([b_ub, np.array(extra_rhs)]) if len(b_ub) else np.array(extra_rhs)
+        if fast:
+            ones = np.flatnonzero(lo > 0.5)
+            if ones.size:
+                extra = np.zeros((ones.size, n))
+                extra[np.arange(ones.size), ones] = -1.0
+                a_ub = np.vstack([a_ub, extra]) if len(a_ub) else extra
+                b_ub = np.concatenate([b_ub, np.full(ones.size, -1.0)])
+        else:
+            extra_rows = []
+            extra_rhs = []
+            for j in range(n):
+                if lo[j] > 0.5:
+                    row = np.zeros(n)
+                    row[j] = -1.0
+                    extra_rows.append(row)
+                    extra_rhs.append(-1.0)
+            if extra_rows:
+                a_ub = (
+                    np.vstack([a_ub, np.array(extra_rows)]) if len(a_ub) else np.array(extra_rows)
+                )
+                b_ub = (
+                    np.concatenate([b_ub, np.array(extra_rhs)])
+                    if len(b_ub)
+                    else np.array(extra_rhs)
+                )
         return solve_lp(
             mat.c, a_ub, b_ub, mat.a_eq, mat.b_eq, ub=hi, stats=simplex_stats
         )

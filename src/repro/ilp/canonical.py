@@ -93,6 +93,40 @@ def canonical_digest(
     return hashlib.sha256(form.encode("utf-8")).hexdigest()
 
 
+def canonical_digests(
+    problem: IntegerProgram,
+    backend: str = "",
+    incumbent: dict[str, int] | None = None,
+    node_limit: int = 0,
+) -> tuple[str, str]:
+    """``(exact, structure)`` digests of a solve request, in one render.
+
+    The *exact* digest is :func:`canonical_digest` — it folds in the
+    warm-start incumbent, so equal digests mean equal answers.  The
+    *structure* digest drops only the incumbent line: two requests with
+    equal structure digests pose the same model (same canonical
+    variable indexing included) and differ at most in the hint given to
+    the solver.  The canonical form appends the incumbent line last, so
+    the structure text is a prefix of the exact text and both hashes
+    come from a single render.
+    """
+    structure_form = canonical_form(
+        problem, backend=backend, incumbent=None, node_limit=node_limit
+    )
+    structure = hashlib.sha256(structure_form.encode("utf-8")).hexdigest()
+    if not incumbent:
+        return structure, structure
+    index = {name: i for i, name in enumerate(problem.variables)}
+    warm = sorted(
+        (index[name], value) for name, value in incumbent.items() if name in index
+    )
+    exact_form = (
+        structure_form + "\nincumbent " + " ".join(f"{i}:{v}" for i, v in warm)
+    )
+    exact = hashlib.sha256(exact_form.encode("utf-8")).hexdigest()
+    return exact, structure
+
+
 @dataclass
 class _CachedSolve:
     """A solve result keyed by canonical variable index."""
@@ -104,11 +138,20 @@ class _CachedSolve:
 
 
 class SolveCache:
-    """Bounded LRU of solve results, keyed by canonical digest."""
+    """Bounded LRU of solve results, keyed by canonical digest.
+
+    A secondary index maps *structure* digests (the canonical form
+    minus the incumbent line — see :func:`canonical_digests`) to the
+    most recently memoised exact entry of that structure.  A *near
+    miss* — same model, different warm-start hint — can then recover
+    the previous optimum as a warm-start incumbent via
+    :meth:`get_warm` instead of solving from scratch.
+    """
 
     def __init__(self, maxsize: int = 4096):
         self.maxsize = maxsize
         self._entries: OrderedDict[str, _CachedSolve] = OrderedDict()
+        self._by_structure: dict[str, str] = {}
         self.hits = 0
         self.misses = 0
 
@@ -117,6 +160,7 @@ class SolveCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_structure.clear()
         self.hits = 0
         self.misses = 0
 
@@ -137,7 +181,36 @@ class SolveCache:
             stats=replace(entry.stats),  # type: ignore[type-var]
         )
 
-    def put(self, digest: str, problem: IntegerProgram, result: SolveResult) -> None:
+    def get_warm(
+        self, structure: str, problem: IntegerProgram
+    ) -> dict[str, int] | None:
+        """Optimal values of the last solve with this structure digest.
+
+        Returns the values re-keyed onto ``problem``'s variable names
+        (structure-equal problems share the canonical indexing), or
+        ``None`` when no optimal entry of that structure is live.  The
+        caller decides whether the candidate actually helps — see
+        :func:`repro.ilp.solver.solve`.
+        """
+        exact = self._by_structure.get(structure)
+        if exact is None:
+            return None
+        entry = self._entries.get(exact)
+        if entry is None or entry.status != "optimal":
+            # The exact entry fell out of the LRU (or never converged);
+            # drop the stale structure mapping.
+            self._by_structure.pop(structure, None)
+            return None
+        names = problem.variables
+        return {names[i]: value for i, value in entry.values_by_index}
+
+    def put(
+        self,
+        digest: str,
+        problem: IntegerProgram,
+        result: SolveResult,
+        structure: str | None = None,
+    ) -> None:
         index = {name: i for i, name in enumerate(problem.variables)}
         values = tuple(
             sorted(
@@ -152,6 +225,8 @@ class SolveCache:
             values_by_index=values,
             stats=replace(result.stats),  # type: ignore[type-var]
         )
+        if structure is not None:
+            self._by_structure[structure] = digest
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
@@ -164,5 +239,6 @@ __all__ = [
     "SOLVE_CACHE",
     "SolveCache",
     "canonical_digest",
+    "canonical_digests",
     "canonical_form",
 ]

@@ -86,6 +86,34 @@ class IntegerProgram:
         self.constraints.append(constraint)
         return constraint
 
+    # -- lowering ----------------------------------------------------------
+
+    def constraint_coo(
+        self,
+    ) -> "tuple[list[int], list[int], list[float], list[str], list[float]]":
+        """Flat COO view of the constraint system, for bulk lowering.
+
+        Returns ``(rows, cols, coeffs, senses, rhs)`` where the first
+        three lists hold one entry per term, in constraint order then
+        term order — the same accumulation order the per-row reference
+        lowering uses, so a bulk scatter-add reproduces its float64
+        sums bit-for-bit.
+        """
+        index = self._var_index
+        rows: list[int] = []
+        cols: list[int] = []
+        coeffs: list[float] = []
+        senses: list[str] = []
+        rhs: list[float] = []
+        for i, con in enumerate(self.constraints):
+            senses.append(con.sense)
+            rhs.append(con.rhs)
+            for term in con.terms:
+                rows.append(i)
+                cols.append(index[term.var])
+                coeffs.append(term.coeff)
+        return rows, cols, coeffs, senses, rhs
+
     # -- stats -------------------------------------------------------------
 
     @property

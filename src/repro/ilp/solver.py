@@ -11,17 +11,31 @@ naming and build order — return the original result without re-running
 the simplex.  The effort counters only advance on cache misses, so
 telemetry keeps describing work actually performed; hits and misses
 are counted separately (``ilp.cache.*``).
+
+On the fast path (:mod:`repro.fastpath`) a cache *near miss* — same
+model structure, different warm-start hint — re-uses the memoised
+optimum as the branch-and-bound incumbent when it is feasible and
+strictly better than the caller's own hint (``ilp.cache.warm_starts``
+counts adoptions).  A warm incumbent can only tighten pruning, never
+steer the relaxation, so the solve still terminates at an optimal
+solution; ``tests/test_ilp_fastpath.py`` certifies on the pinned
+workloads that the answers match the reference path bit for bit.
 """
 
 from __future__ import annotations
 
+from ..fastpath import fastpath_enabled
 from ..obs import metrics, trace
 from .branch_bound import SolveResult, solve_branch_bound
-from .canonical import SOLVE_CACHE, canonical_digest
+from .canonical import SOLVE_CACHE, canonical_digests
 from .model import IntegerProgram
 from .scipy_backend import solve_scipy
 
 BACKENDS = ("own", "scipy")
+
+#: A memoised warm-start candidate must beat the caller's incumbent by
+#: more than this margin to be adopted.
+_WARM_MARGIN = 1e-6
 
 
 def solve(
@@ -43,6 +57,7 @@ def solve(
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     digest = None
+    structure = None
     with trace.span(
         "ilp.solve",
         backend=backend,
@@ -50,7 +65,7 @@ def solve(
         constraints=problem.num_constraints,
     ) as span:
         if cache:
-            digest = canonical_digest(
+            digest, structure = canonical_digests(
                 problem, backend=backend, incumbent=incumbent, node_limit=node_limit
             )
             cached = SOLVE_CACHE.get(digest, problem)
@@ -59,6 +74,26 @@ def solve(
                 metrics.counter("ilp.cache.hits").inc()
                 return cached
             metrics.counter("ilp.cache.misses").inc()
+            if backend == "own" and fastpath_enabled():
+                # Near miss: a structure-identical model was already
+                # solved to optimality under a different hint.  Its
+                # optimum is the best incumbent this model can have —
+                # adopt it (fast path only) when it is feasible here
+                # and strictly better than what the caller supplied.
+                warm = SOLVE_CACHE.get_warm(structure, problem)
+                if (
+                    warm is not None
+                    and problem.is_feasible(warm)
+                    and (
+                        incumbent is None
+                        or not problem.is_feasible(incumbent)
+                        or problem.evaluate(warm)
+                        < problem.evaluate(incumbent) - _WARM_MARGIN
+                    )
+                ):
+                    incumbent = warm
+                    span.set(warm_start=True)
+                    metrics.counter("ilp.cache.warm_starts").inc()
         if backend == "own":
             result = solve_branch_bound(
                 problem, incumbent=incumbent, node_limit=node_limit
@@ -67,7 +102,7 @@ def solve(
             result = solve_scipy(problem)
         span.set(status=result.status)
     if digest is not None:
-        SOLVE_CACHE.put(digest, problem, result)
+        SOLVE_CACHE.put(digest, problem, result, structure=structure)
     metrics.counter("ilp.solves").inc()
     metrics.counter("ilp.simplex_iterations").inc(result.stats.simplex_iterations)
     metrics.counter("ilp.lp_solves").inc(result.stats.lp_solves)

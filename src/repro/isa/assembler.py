@@ -13,13 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..fastpath import fastpath_enabled
 from .instructions import (
     EncodingError,
     F_ADDR,
     F_BR,
     MachineInstr,
-    decode,
-    encode,
+    decode_batch,
+    encode_batch,
 )
 
 
@@ -73,8 +76,13 @@ class BinaryImage:
         return tuple(flat)
 
     def to_bytes(self) -> bytes:
+        words = self.words()
+        if fastpath_enabled():
+            # One little-endian uint16 bulk conversion; identical bytes
+            # to the word-at-a-time reference loop below.
+            return np.asarray(words, dtype="<u2").tobytes()
         out = bytearray()
-        for word in self.words():
+        for word in words:
             out += word.to_bytes(2, "little")
         return bytes(out)
 
@@ -130,9 +138,12 @@ def assemble(
         else:
             address += instr.size_words
 
-    # Pass 2: resolve and encode.
+    # Pass 2: resolve targets, then encode the whole program in one
+    # batch (the fast/reference split lives in ``encode_batch``).
     image = BinaryImage(data=data, data_base=data_base, symbols=symbols)
     address = 0
+    resolved_instrs: list[MachineInstr] = []
+    addresses: list[int] = []
     for instr in instrs:
         if instr.is_label:
             continue
@@ -149,12 +160,17 @@ def assemble(
                 raise AssemblyError(
                     f"{instr.mnemonic} cannot take a label target"
                 )
-        try:
-            words = encode(resolved)
-        except EncodingError as exc:
-            raise AssemblyError(str(exc)) from exc
-        image.code.append(EncodedInstr(address=address, words=words, instr=resolved))
+        resolved_instrs.append(resolved)
+        addresses.append(address)
         address += instr.size_words
+    try:
+        encoded = encode_batch(resolved_instrs)
+    except EncodingError as exc:
+        raise AssemblyError(str(exc)) from exc
+    image.code = [
+        EncodedInstr(address=addr, words=words, instr=resolved)
+        for addr, words, resolved in zip(addresses, encoded, resolved_instrs)
+    ]
 
     if entry_label not in symbols:
         raise AssemblyError(f"entry point {entry_label!r} not defined")
@@ -180,12 +196,8 @@ def disassemble_words(words: list[int]) -> list[MachineInstr]:
     """Decode a flat word list back into instructions.
 
     Used by tests to confirm the encoding round-trips and by the patcher
-    to sanity-check a reconstructed image.
+    to sanity-check a reconstructed image.  Delegates to
+    :func:`repro.isa.instructions.decode_batch`, which carries the
+    fast/reference split.
     """
-    instrs = []
-    index = 0
-    while index < len(words):
-        instr, consumed = decode(words, index)
-        instrs.append(instr)
-        index += consumed
-    return instrs
+    return decode_batch(words)

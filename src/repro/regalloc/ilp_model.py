@@ -47,7 +47,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
-from ..ilp.model import IntegerProgram
+from ..fastpath import fastpath_enabled
+from ..ilp.model import Constraint, IntegerProgram, LinTerm
 from ..ir.function import IRFunction
 from ..ir.liveness import LivenessInfo
 from ..isa import registers as regs
@@ -130,7 +131,20 @@ def _stored(a: str, s: int) -> str:
 
 
 def build_chunk_model(spec: ChunkSpec) -> IntegerProgram:
-    """Build the 0/1 program for one chunk."""
+    """Build the 0/1 program for one chunk.
+
+    Two generators exist (see :mod:`repro.fastpath`): the reference one
+    below, kept as the correctness oracle, and a fast one that emits
+    the *identical* program — same variable registration order, same
+    constraints, same objective — from precomputed liveness/preference
+    tables.  ``tests/test_ilp_fastpath.py`` certifies the equivalence.
+    """
+    if fastpath_enabled():
+        return _build_chunk_model_fast(spec)
+    return _build_chunk_model_reference(spec)
+
+
+def _build_chunk_model_reference(spec: ChunkSpec) -> IntegerProgram:
     prog = IntegerProgram(name=f"ucc-ra:{spec.fn.name}[{spec.lo}:{spec.hi})")
     names = spec.variables()
     points = range(spec.hi - spec.lo + 1)
@@ -346,6 +360,252 @@ def _add_objective(prog: IntegerProgram, spec: ChunkSpec) -> None:
                     prog.add_objective(
                         name, freq * spec.cnt * energy.e_exe + energy.e_trans
                     )
+
+
+def _build_chunk_model_fast(spec: ChunkSpec) -> IntegerProgram:
+    """Fast chunk-model generator.
+
+    Emits exactly the constraint/objective stream of
+    :func:`_build_chunk_model_reference` — the loops are the same, in
+    the same order — but every repeated lookup is hoisted: per-point
+    live sets are computed once instead of per (variable, point) probe,
+    the preferred-register first-tag scan becomes one sorted pass,
+    register-unit expansion is memoised, and constraints are appended
+    with the model layer's invariants inlined.
+    """
+    prog = IntegerProgram(name=f"ucc-ra:{spec.fn.name}[{spec.lo}:{spec.hi})")
+    names = spec.variables()
+    n_points = spec.hi - spec.lo + 1
+    points = range(n_points)
+    candidates = spec.candidates
+    live_pts = [spec.live_at_point(p) for p in points]
+
+    var_index = prog._var_index
+    variables = prog.variables
+    constraints = prog.constraints
+
+    def addc(terms: list[tuple[float, str]], sense: str, rhs: float, name: str) -> None:
+        # Inlined IntegerProgram.add_constraint: same zero-coefficient
+        # filter, same first-use variable registration order.
+        lin = []
+        for coeff, v in terms:
+            if coeff != 0.0:
+                if v not in var_index:
+                    var_index[v] = len(variables)
+                    variables.append(v)
+                lin.append(LinTerm(coeff, v))
+        constraints.append(Constraint(terms=lin, sense=sense, rhs=rhs, name=name))
+
+    # -- location exclusivity (1)/(4) --------------------------------------
+    for a in names:
+        cand = candidates[a]
+        for p in points:
+            if a not in live_pts[p]:
+                continue
+            terms = [(1.0, f"L.{a}.{p}.{r}") for r in cand]
+            terms.append((1.0, f"M.{a}.{p}"))
+            addc(terms, "=", 1.0, f"home.{a}.{p}")
+
+    # -- boundary fixing ---------------------------------------------------
+    names_set = set(names)
+    for a, base in spec.fixed.items():
+        if a not in names_set:
+            continue
+        for p in (0, spec.hi - spec.lo):
+            if a in live_pts[p]:
+                if base in candidates[a]:
+                    prog.fix(_loc(a, p, base), 1)
+                else:
+                    prog.fix(_mem(a, p), 1)
+
+    # -- register conflicts (8)/(9) ----------------------------------------
+    size_of = {a: spec.size_of(a) for a in names}
+    units_of: dict[tuple[int, int], tuple[int, ...]] = {}
+    for p in points:
+        live_set = live_pts[p]
+        unit_users: dict[int, list[tuple[str, int]]] = {}
+        for a in names:
+            if a not in live_set:
+                continue
+            sz = size_of[a]
+            for r in candidates[a]:
+                key = (r, sz)
+                units = units_of.get(key)
+                if units is None:
+                    units = tuple(regs.registers_of(r, sz))
+                    units_of[key] = units
+                for unit in units:
+                    unit_users.setdefault(unit, []).append((a, r))
+        for unit, users in unit_users.items():
+            if len(users) < 2:
+                continue
+            addc(
+                [(1.0, f"L.{a}.{p}.{r}") for a, r in users],
+                "<=",
+                1.0,
+                f"conflict.{p}.r{unit}",
+            )
+
+    # -- per-statement semantics -------------------------------------------
+    used_by_s: dict[int, list[str]] = {}
+    defined_by_s: dict[int, list[str]] = {}
+    for s in range(spec.lo, spec.hi):
+        ins = spec.fn.instrs[s]
+        p_before = s - spec.lo
+        p_after = p_before + 1
+        used = sorted({r.name for r in ins.uses() if r.name in candidates})
+        defined = sorted({r.name for r in ins.defs() if r.name in candidates})
+        used_by_s[s] = used
+        defined_by_s[s] = defined
+
+        for a in used:
+            cand = candidates[a]
+            addc([(1.0, f"U.{a}.{s}.{r}") for r in cand], "=", 1.0, f"use.{a}.{s}")
+            for r in cand:
+                addc(
+                    [
+                        (1.0, f"U.{a}.{s}.{r}"),
+                        (-1.0, f"L.{a}.{p_before}.{r}"),
+                        (-1.0, f"D.{a}.{s}"),
+                        (-1.0, f"V.{a}.{s}.{r}"),
+                    ],
+                    "<=",
+                    0.0,
+                    f"usefeas.{a}.{s}.r{r}",
+                )
+            addc(
+                [(1.0, f"D.{a}.{s}"), (-1.0, f"M.{a}.{p_before}")],
+                "<=",
+                0.0,
+                f"ldmem.{a}.{s}",
+            )
+
+        for a in defined:
+            addc(
+                [(1.0, f"M.{a}.{p_after}"), (-1.0, f"S.{a}.{s}")],
+                "<=",
+                0.0,
+                f"defmem.{a}.{s}",
+            )
+
+        defined_set = set(defined)
+        live_before = live_pts[p_before]
+        live_after = live_pts[p_after]
+        for a in names:
+            if a in defined_set:
+                continue
+            if a not in live_before or a not in live_after:
+                continue
+            for r in candidates[a]:
+                addc(
+                    [
+                        (1.0, f"L.{a}.{p_after}.{r}"),
+                        (-1.0, f"L.{a}.{p_before}.{r}"),
+                        (-1.0, f"V.{a}.{s}.{r}"),
+                    ],
+                    "<=",
+                    0.0,
+                    f"flow.{a}.{s}.r{r}",
+                )
+            addc(
+                [
+                    (1.0, f"M.{a}.{p_after}"),
+                    (-1.0, f"M.{a}.{p_before}"),
+                    (-1.0, f"S.{a}.{s}"),
+                ],
+                "<=",
+                0.0,
+                f"flowmem.{a}.{s}",
+            )
+
+    _add_objective_fast(prog, spec, names, live_pts, used_by_s, defined_by_s)
+    return prog
+
+
+def _add_objective_fast(
+    prog: IntegerProgram,
+    spec: ChunkSpec,
+    names: list[str],
+    live_pts: list[set[str]],
+    used_by_s: dict[int, list[str]],
+    defined_by_s: dict[int, list[str]],
+) -> None:
+    """Objective emission for the fast generator — same stream as
+    :func:`_add_objective`, with the first-tag scan and per-statement
+    use/def recomputation hoisted."""
+    energy = spec.energy
+
+    # One sorted pass replaces the reference's per-variable scan over
+    # sorted(prefer): setdefault keeps the first (lowest-key) tag.
+    first_tag: dict[str, int] = {}
+    for (name, _), reg in sorted(spec.prefer.items()):
+        first_tag.setdefault(name, reg)
+
+    eps = 1e-6
+    for a in names:  # names is sorted
+        tag = first_tag.get(a)
+        cand = spec.candidates[a]
+        for p in range(spec.hi - spec.lo + 1):
+            if a not in live_pts[p]:
+                continue
+            for r in cand:
+                penalty = eps * (r + 1)
+                if tag is not None and r == tag:
+                    penalty = 0.0
+                prog.add_objective(f"L.{a}.{p}.{r}", penalty)
+
+    constant = 0.0
+    for s in range(spec.lo, spec.hi):
+        if spec.chg.get(s, True):
+            constant += spec.freq.get(s, 1.0) * spec.cnt * energy.e_exe
+            constant += energy.e_trans
+    prog.objective_constant = constant
+
+    var_index = prog._var_index
+    for s in range(spec.lo, spec.hi):
+        freq = spec.freq.get(s, 1.0)
+        used = used_by_s[s]
+        defined = defined_by_s[s]
+        occurring = sorted(set(used) | set(defined))
+        used_set = set(used)
+
+        if not spec.chg.get(s, True):
+            prog.objective_constant += freq * spec.cnt * energy.e_exe
+            tagged = [
+                (a, spec.prefer[(a, s)]) for a in occurring if (a, s) in spec.prefer
+            ]
+            theta = THETA if len(tagged) >= 2 else 1.0
+            for a, pref in tagged:
+                if pref not in spec.candidates[a]:
+                    continue
+                if a in used_set:
+                    var = f"U.{a}.{s}.{pref}"
+                else:
+                    if a not in live_pts[s - spec.lo + 1]:
+                        continue
+                    var = f"L.{a}.{s - spec.lo + 1}.{pref}"
+                prog.objective_constant += theta * energy.e_trans
+                prog.add_objective(var, -theta * energy.e_trans)
+
+        for a in used:
+            was_spilled = spec.old_spilled.get(a, False)
+            cost = freq * spec.cnt * energy.e_exe_mem
+            if not was_spilled:
+                cost += energy.e_trans
+            prog.add_objective(f"D.{a}.{s}", cost)
+        for a in defined:
+            was_spilled = spec.old_spilled.get(a, False)
+            cost = freq * spec.cnt * energy.e_exe_mem
+            if not was_spilled:
+                cost += energy.e_trans
+            prog.add_objective(f"S.{a}.{s}", cost)
+
+        move_cost = freq * spec.cnt * energy.e_exe + energy.e_trans
+        for a in names:  # names is sorted
+            for r in spec.candidates.get(a, ()):
+                name = f"V.{a}.{s}.{r}"
+                if name in var_index:
+                    prog.add_objective(name, move_cost)
 
 
 def nonlinear_objective(spec: ChunkSpec, values: dict[str, int]) -> float:

@@ -1,0 +1,216 @@
+"""Property tests for the canonical solve-memo keys
+(:mod:`repro.ilp.canonical`).
+
+The cache key contract the fleet service leans on:
+
+* *isomorphism* — renaming variables (and shuffling build order of
+  commuting operations) never changes the key;
+* *separation* — touching anything that can change the answer (a
+  coefficient, a sense, an rhs, the backend, the node limit, the
+  incumbent) always changes the exact key;
+* *structure vs exact* — the structure digest ignores exactly one
+  thing: the warm-start incumbent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp import IntegerProgram
+from repro.ilp.branch_bound import SolveResult, SolveStats
+from repro.ilp.canonical import (
+    SolveCache,
+    canonical_digest,
+    canonical_digests,
+    canonical_form,
+)
+
+SENSES = ("<=", ">=", "=")
+
+
+def _build_ip(seed: int, prefix: str = "x", shuffle: bool = False) -> IntegerProgram:
+    """A small random program, deterministic in ``seed``; ``prefix``
+    renames every variable and ``shuffle`` permutes the order of the
+    commuting build calls (objective terms, constraint list)."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 6)
+    names = [f"{prefix}{i}" for i in range(n)]
+    obj = [(name, float(rng.randint(-5, 5))) for name in names]
+    constraints = []
+    for _ in range(rng.randint(1, 4)):
+        k = rng.randint(1, n)
+        terms = [(float(rng.randint(1, 4)), name) for name in rng.sample(names, k)]
+        constraints.append((terms, rng.choice(SENSES), float(rng.randint(0, 5))))
+    fixed = [(name, rng.randint(0, 1)) for name in names if rng.random() < 0.2]
+
+    order = random.Random(seed * 31 + 7) if shuffle else None
+    prog = IntegerProgram()
+    if order:
+        order.shuffle(obj)
+        order.shuffle(constraints)
+    for name, coeff in obj:
+        prog.add_objective(name, coeff)
+    for terms, sense, rhs in constraints:
+        prog.add_constraint(terms, sense, rhs)
+    for name, value in fixed:
+        prog.fix(name, value)
+    return prog
+
+
+class TestIsomorphismInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_rename_same_key(self, seed):
+        a = _build_ip(seed, prefix="x")
+        b = _build_ip(seed, prefix="very_long_name_")
+        assert canonical_digest(a) == canonical_digest(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_commuting_build_order_same_key(self, seed):
+        # Objective terms and constraint insertion commute as long as
+        # first-use variable order is preserved — which the canonical
+        # indexing normalises away entirely only for constraint order.
+        a = _build_ip(seed)
+        b = _build_ip(seed)
+        assert canonical_form(a) == canonical_form(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_incumbent_rename_same_exact_key(self, seed):
+        a = _build_ip(seed, prefix="x")
+        b = _build_ip(seed, prefix="y")
+        hint_a = {name: i % 2 for i, name in enumerate(a.variables)}
+        hint_b = {name: i % 2 for i, name in enumerate(b.variables)}
+        assert canonical_digest(a, incumbent=hint_a) == canonical_digest(
+            b, incumbent=hint_b
+        )
+
+
+class TestSeparation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_single_perturbation_changes_key(self, seed, data):
+        from dataclasses import replace
+
+        base = _build_ip(seed)
+        perturbed = _build_ip(seed)
+        cons = perturbed.constraints
+        kind = data.draw(
+            st.sampled_from(["coeff", "rhs", "sense", "objective"]),
+            label="perturbation",
+        )
+        if kind == "objective":
+            name = data.draw(
+                st.sampled_from(list(perturbed.variables)), label="var"
+            )
+            perturbed.add_objective(name, 1.0)
+        else:
+            idx = data.draw(
+                st.integers(min_value=0, max_value=len(cons) - 1),
+                label="constraint",
+            )
+            c = cons[idx]
+            if kind == "coeff":
+                tidx = data.draw(
+                    st.integers(min_value=0, max_value=len(c.terms) - 1),
+                    label="term",
+                )
+                new_terms = list(c.terms)
+                new_terms[tidx] = replace(
+                    new_terms[tidx], coeff=new_terms[tidx].coeff + 1.0
+                )
+                cons[idx] = replace(c, terms=new_terms)
+            elif kind == "rhs":
+                cons[idx] = replace(c, rhs=c.rhs + 1.0)
+            else:
+                new_sense = data.draw(
+                    st.sampled_from([s for s in SENSES if s != c.sense]),
+                    label="sense",
+                )
+                cons[idx] = replace(c, sense=new_sense)
+        assert canonical_digest(base) != canonical_digest(perturbed)
+
+    def test_backend_and_node_limit_in_key(self):
+        prog = _build_ip(3)
+        assert canonical_digest(prog, backend="own") != canonical_digest(
+            prog, backend="scipy"
+        )
+        assert canonical_digest(prog, node_limit=10) != canonical_digest(
+            prog, node_limit=20
+        )
+
+
+class TestStructureVsExact:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_no_incumbent_exact_equals_structure(self, seed):
+        prog = _build_ip(seed)
+        exact, structure = canonical_digests(prog, backend="own")
+        assert exact == structure
+        assert exact == canonical_digest(prog, backend="own")
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_incumbent_splits_exact_not_structure(self, seed):
+        prog = _build_ip(seed)
+        hint = {name: 1 for name in prog.variables}
+        exact_cold, structure_cold = canonical_digests(prog, backend="own")
+        exact_warm, structure_warm = canonical_digests(
+            prog, backend="own", incumbent=hint
+        )
+        assert structure_cold == structure_warm
+        assert exact_cold != exact_warm
+        # And the single-render exact digest matches the standalone one.
+        assert exact_warm == canonical_digest(prog, backend="own", incumbent=hint)
+
+
+class TestGetWarm:
+    def _result(self, prog, values=None):
+        return SolveResult(
+            status="optimal",
+            values=values or {name: 0 for name in prog.variables},
+            objective=1.5,
+            stats=SolveStats(),
+        )
+
+    def test_round_trip_rekeys_names(self):
+        cache = SolveCache()
+        a = _build_ip(11, prefix="x")
+        b = _build_ip(11, prefix="renamed_")
+        exact, structure = canonical_digests(a, backend="own")
+        values = {name: i % 2 for i, name in enumerate(a.variables)}
+        cache.put(exact, a, self._result(a, values), structure=structure)
+        warm = cache.get_warm(structure, b)
+        assert warm == {
+            f"renamed_{i}": value
+            for i, value in enumerate(
+                values[name] for name in a.variables
+            )
+        }
+
+    def test_stale_mapping_dropped_after_eviction(self):
+        cache = SolveCache(maxsize=1)
+        prog = _build_ip(12)
+        exact, structure = canonical_digests(prog, backend="own")
+        cache.put(exact, prog, self._result(prog), structure=structure)
+        # Push the entry out of the tiny LRU with an unrelated one.
+        other = _build_ip(13)
+        cache.put("other-digest", other, self._result(other))
+        assert cache.get_warm(structure, prog) is None
+        # The lazy cleanup removed the stale structure mapping.
+        assert structure not in cache._by_structure
+
+    def test_non_optimal_entries_never_warm_start(self):
+        cache = SolveCache()
+        prog = _build_ip(14)
+        exact, structure = canonical_digests(prog, backend="own")
+        result = self._result(prog)
+        result.status = "node_limit"
+        cache.put(exact, prog, result, structure=structure)
+        assert cache.get_warm(structure, prog) is None

@@ -141,6 +141,48 @@ class TestAcceptanceBatch:
         assert all(outcome.nodes_patched == 24 for outcome in warm.outcomes)
         assert all(outcome.network_energy_j > 0 for outcome in warm.outcomes)
 
+    def test_fastpath_batch_digest_identical_to_reference(self):
+        """The vectorized fast path (repro.fastpath) re-runs the 16-job
+        acceptance batch with bit-identical campaign and job digests;
+        the speedup is recorded in the assertion message."""
+        from repro.fastpath import reference_mode
+        from repro.ilp.canonical import SOLVE_CACHE
+
+        jobs = _acceptance_jobs()
+
+        SOLVE_CACHE.clear()
+        start = time.perf_counter()
+        fast = FleetUpdateService(workers=1, use_processes=False).run(jobs)
+        fast_ms = (time.perf_counter() - start) * 1000.0
+
+        # reference_mode is process-local, so the reference run must
+        # stay in-process too (a worker pool would ignore the toggle).
+        SOLVE_CACHE.clear()
+        with reference_mode(True):
+            start = time.perf_counter()
+            ref = FleetUpdateService(workers=1, use_processes=False).run(jobs)
+            ref_ms = (time.perf_counter() - start) * 1000.0
+
+        assert fast.ok and ref.ok
+        assert _metrics(fast.outcomes) == _metrics(ref.outcomes)
+        digests = [
+            (outcome.script_digest, outcome.campaign_digest)
+            for outcome in fast.outcomes
+        ]
+        assert digests == [
+            (outcome.script_digest, outcome.campaign_digest)
+            for outcome in ref.outcomes
+        ]
+        assert all(script for script, _campaign in digests)
+        # Record the measured batch speedup; the fast path must at the
+        # very least not slow the batch down materially (the heavy ILP
+        # jobs in the batch are where the >= 5x kernel gain lands —
+        # benchmarks/baselines/BENCH_ilp.json pins that).
+        assert fast_ms < ref_ms * 1.5, (
+            f"fast batch {fast_ms:.0f} ms vs reference {ref_ms:.0f} ms "
+            f"(speedup {ref_ms / fast_ms:.2f}x)"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Resilience

@@ -43,6 +43,7 @@ DOC_FILES = (
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "CHANGES.md",
+    "docs/BENCHMARKS.md",
 )
 
 CATALOGUE = "docs/OBSERVABILITY.md"
@@ -60,7 +61,13 @@ _RULE_ID_RE = re.compile(r"^\s*(?:rule_id|SUP_RULE_ID)\s*=\s*\"([A-Z0-9-]+)\"", 
 def doc_files() -> list[Path]:
     files = [REPO / name for name in DOC_FILES]
     files.extend(sorted((REPO / "docs").glob("*.md")))
-    return [f for f in files if f.exists()]
+    seen: set[Path] = set()
+    unique = []
+    for f in files:
+        if f.exists() and f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
 
 
 def check_links() -> list[str]:
