@@ -39,10 +39,20 @@ from .core.compiler import CompiledProgram, Compiler
 from .core.session import CampaignResult, SessionResult, UpdateSession
 from .core.update import UpdatePlanner, UpdateResult
 from .energy import MICA2, PowerModel
-from .net.campaign import CampaignReport
+from .net.campaign import PROTOCOLS, CampaignReport
 from .net.errors import DisconnectedTopologyError, DisseminationIncomplete
 from .net.faults import FaultPlan, NodeCrash, PartitionWindow
+from .net.gossip import GossipParams, run_gossip
+from .net.kernel import (
+    ALWAYS_ON,
+    LPL_1,
+    LPL_10,
+    DutyCycle,
+    KernelReport,
+    SimKernel,
+)
 from .net.topology import Topology
+from .net.trickle import TrickleParams, run_trickle
 from .service.fleet import FleetResult, FleetUpdateService, JobOutcome
 from .service.fleet import run_batch as _run_batch
 
@@ -119,6 +129,7 @@ def run_batch(
 
 
 __all__ = [
+    "ALWAYS_ON",
     "CP_STRATEGIES",
     "CampaignReport",
     "CampaignResult",
@@ -127,16 +138,24 @@ __all__ = [
     "DA_STRATEGIES",
     "DisconnectedTopologyError",
     "DisseminationIncomplete",
+    "DutyCycle",
     "FaultPlan",
     "FleetJob",
     "FleetResult",
     "FleetUpdateService",
+    "GossipParams",
     "JobOutcome",
+    "KernelReport",
+    "LPL_1",
+    "LPL_10",
     "NodeCrash",
+    "PROTOCOLS",
     "PartitionWindow",
     "RA_STRATEGIES",
     "SessionResult",
+    "SimKernel",
     "TopologySpec",
+    "TrickleParams",
     "UpdateConfig",
     "UpdatePlanner",
     "UpdateResult",
@@ -146,4 +165,6 @@ __all__ = [
     "make_session",
     "plan_update",
     "run_batch",
+    "run_gossip",
+    "run_trickle",
 ]

@@ -40,6 +40,7 @@ DEFAULT_REPS = {
     "ilp": (5, 2),
     "diff": (5, 2),
     "campaign": (3, 1),
+    "dissemination": (3, 1),
 }
 
 

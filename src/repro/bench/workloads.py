@@ -11,7 +11,14 @@ paper's experiments:
 * ``diff``    — the Figure 9 update cases, planned end to end to an
   edit script;
 * ``campaign`` — the Figure 10 / acceptance 16-job fleet batch through
-  :class:`~repro.service.FleetUpdateService`, cold and warm.
+  :class:`~repro.service.FleetUpdateService`, cold and warm;
+* ``dissemination`` — the event-kernel protocols
+  (``docs/SIMULATOR.md``): the pinned lossy 1k-node flood-vs-Trickle
+  comparison whose committed baseline records the transmission ratio,
+  a 5k-node Trickle convergence (the CI smoke workload), and a flood
+  campaign run whose fast path is the kernel driver and whose
+  reference path is the legacy round loop — the harness's digest
+  cross-check *is* the kernel-vs-legacy identity certification.
 
 A workload's ``job`` callable returns ``(digest, metrics)``.  The
 digest must be a pure function of the answer (never of wall time), so
@@ -42,7 +49,7 @@ from ..regalloc.ilp_ra import build_spec_for_chunk
 from ..workloads import CASES
 from ..workloads.programs import PROGRAMS
 
-AREAS = ("compile", "ilp", "diff", "campaign")
+AREAS = ("compile", "ilp", "diff", "campaign", "dissemination")
 
 #: Metric keys that must be equal between the fast and reference runs
 #: of one workload (on top of the digest, which always must).
@@ -291,6 +298,125 @@ def _campaign_workloads() -> list[Workload]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# dissemination: event-kernel protocols (docs/SIMULATOR.md)
+# ---------------------------------------------------------------------------
+
+#: The pinned 600-byte script blob every dissemination workload pushes
+#: (28 packets at the default 22-byte payload).
+DISSEMINATION_BLOB = bytes(range(256)) * 2 + bytes(88)
+
+
+def _flood_vs_trickle_payload():
+    from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD, Packetisation
+    from ..net.topology import random_geometric
+
+    topology = random_geometric(1000, radio_range=0.1, seed=3)
+    packets = Packetisation(
+        len(DISSEMINATION_BLOB), DEFAULT_PAYLOAD, DEFAULT_OVERHEAD
+    )
+    return topology, packets
+
+
+def _flood_vs_trickle_job(payload) -> "tuple[str, dict]":
+    from ..net.lossy import disseminate_lossy
+    from ..net.trickle import run_trickle
+
+    topology, packets = payload
+    flood = disseminate_lossy(topology, packets, loss=0.15, seed=3)
+    trickle = run_trickle(
+        topology, DISSEMINATION_BLOB, loss=0.15, seed=3, max_time=600.0
+    )
+    digest = _sha(
+        {
+            "flood": {
+                "broadcasts": flood.broadcasts,
+                "nacks": flood.nacks,
+                "rounds": flood.rounds,
+                "complete": flood.complete,
+            },
+            "trickle": trickle.digest(),
+        }
+    )
+    return digest, {
+        "flood_broadcasts": flood.broadcasts,
+        "trickle_transmissions": trickle.transmissions,
+        "trickle_beacons": trickle.beacons,
+        "tx_ratio": round(flood.broadcasts / trickle.transmissions, 2),
+    }
+
+
+def _trickle_5k_payload():
+    from ..net.topology import grid
+
+    return grid(72, 70)
+
+
+def _trickle_5k_job(topology) -> "tuple[str, dict]":
+    from ..net.kernel import rounds_equivalent
+    from ..net.trickle import run_trickle
+
+    report = run_trickle(
+        topology, DISSEMINATION_BLOB, loss=0.05, seed=5, max_time=600.0
+    )
+    return report.digest(), {
+        "converged": int(report.converged),
+        "transmissions": report.transmissions,
+        "beacons": report.beacons,
+        "events": report.events,
+        "rounds_equivalent": rounds_equivalent(report.time_s, 1.0),
+    }
+
+
+def _campaign_parity_payload():
+    from ..net.faults import FaultPlan, NodeCrash, PartitionWindow
+    from ..net.topology import grid
+
+    plan = FaultPlan(
+        crashes=(NodeCrash(7, 2, reboot_round=5), NodeCrash(23, 4, reboot_round=9)),
+        partitions=(PartitionWindow(3, 7, (40, 41, 42, 52, 53, 54)),),
+        corrupt_prob=0.01,
+        duplicate_prob=0.02,
+        seed=11,
+    )
+    return grid(12, 12), plan
+
+
+def _campaign_parity_job(payload) -> "tuple[str, dict]":
+    # The fast path drives the rounds through the event kernel, the
+    # reference path through the legacy while-loop: the harness's
+    # digest cross-check certifies them byte-identical every rep.
+    from ..net.campaign import run_campaign
+
+    topology, plan = payload
+    report = run_campaign(topology, DISSEMINATION_BLOB, plan, loss=0.1, seed=7)
+    return report.digest(), {
+        "converged": int(report.converged),
+        "rounds": report.rounds,
+        "quarantined": len(report.quarantined),
+    }
+
+
+def _dissemination_workloads() -> list[Workload]:
+    return [
+        Workload(
+            name="lossy1k_flood_vs_trickle",
+            setup=_flood_vs_trickle_payload,
+            job=_flood_vs_trickle_job,
+        ),
+        Workload(
+            name="grid5k_trickle",
+            setup=_trickle_5k_payload,
+            job=_trickle_5k_job,
+        ),
+        Workload(
+            name="campaign_kernel_parity",
+            setup=_campaign_parity_payload,
+            job=_campaign_parity_job,
+        ),
+    ]
+
+
 def workloads_for(area: str) -> list[Workload]:
     """The pinned workload list of one area."""
     if area == "compile":
@@ -301,4 +427,6 @@ def workloads_for(area: str) -> list[Workload]:
         return _diff_workloads()
     if area == "campaign":
         return _campaign_workloads()
+    if area == "dissemination":
+        return _dissemination_workloads()
     raise ValueError(f"unknown bench area {area!r}; expected one of {AREAS}")

@@ -415,10 +415,12 @@ def cmd_campaign(args) -> int:
         config=_update_config(args),
     )
     result = session.push_campaign(
-        new_source, plan=plan, max_rounds=args.rounds
+        new_source, plan=plan, max_rounds=args.rounds,
+        protocol=args.protocol,
     )
     print(f"campaign {label} (ra={args.ra} da={args.da}, "
-          f"{topology.node_count} nodes, loss={args.loss:g})")
+          f"{topology.node_count} nodes, loss={args.loss:g}, "
+          f"protocol={args.protocol})")
     print(f"faults   : {plan.describe()}")
     print(result.report.render())
     return 0 if result.converged else 1
@@ -617,6 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="link-loss RNG seed")
     p_campaign.add_argument("--rounds", type=int, default=200,
                             help="campaign round budget")
+    p_campaign.add_argument("--protocol", default="flood",
+                            choices=("flood", "trickle", "gossip"),
+                            help="dissemination protocol: synchronous "
+                                 "NACK-repair flood (default) or the "
+                                 "event-kernel trickle/gossip protocols")
     p_campaign.add_argument("--crash", action="append", default=[],
                             metavar="NODE@ROUND[:REBOOT]",
                             help="schedule a node crash (repeatable)")

@@ -21,6 +21,7 @@ from ..config import UpdateConfig, merge_legacy_strategy
 from ..diff.patcher import patched_words
 from ..energy.power_model import MICA2, PowerModel
 from ..net.campaign import CampaignReport, run_campaign
+from ..net.kernel import KernelReport
 from ..net.dissemination import DisseminationResult, disseminate
 from ..net.errors import DisseminationIncomplete
 from ..net.faults import FaultPlan
@@ -65,7 +66,7 @@ class CampaignResult:
     """
 
     update: UpdateResult
-    report: CampaignReport
+    report: CampaignReport | KernelReport
     nodes_patched: int
 
     @property
@@ -201,18 +202,26 @@ class UpdateSession:
         plan: FaultPlan | None = None,
         config: UpdateConfig | None = None,
         max_rounds: int = 200,
+        protocol: str = "flood",
     ) -> CampaignResult:
         """Compile one update and drive it to fleet convergence under a
         fault plan.
 
         The wire blob (code script + data script) is packetised with
-        per-packet CRCs and flooded through the campaign controller:
-        nodes stage it crash-consistently, crashed/partitioned nodes
-        retry with bounded backoff, and unrecoverable nodes are
-        quarantined.  Never raises for an unconverged fleet — inspect
-        ``result.report.outcome``.  The session's deployed program (and
-        version counter) advances only when the whole fleet converged,
-        matching what the sink would consider the fleet baseline.
+        per-packet CRCs and disseminated through the campaign
+        controller: nodes stage it crash-consistently,
+        crashed/partitioned nodes retry with bounded backoff, and
+        unrecoverable nodes are quarantined.  Never raises for an
+        unconverged fleet — inspect ``result.report.outcome``.  The
+        session's deployed program (and version counter) advances only
+        when the whole fleet converged, matching what the sink would
+        consider the fleet baseline.
+
+        ``protocol`` selects the dissemination machinery (``"flood"``,
+        ``"trickle"``, or ``"gossip"`` — see
+        :data:`repro.net.campaign.PROTOCOLS`); the kernel protocols
+        return a :class:`~repro.net.kernel.KernelReport` in
+        ``result.report`` with the same consumer surface.
         """
         cfg = config if config is not None else self.config
         with trace.span(
@@ -251,6 +260,7 @@ class UpdateSession:
                 overhead_per_packet=update.packets.overhead_per_packet,
                 old_version=self.version,
                 new_version=self.version + 1,
+                protocol=protocol,
             )
             if report.converged:
                 self.deployed = update.new

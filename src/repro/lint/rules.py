@@ -237,6 +237,9 @@ OBS_ENTRY_POINTS: Tuple[Tuple[str, str, str], ...] = (
     ("repro/net/dissemination.py", "disseminate", "net.disseminate"),
     ("repro/net/lossy.py", "disseminate_lossy", "net.disseminate_lossy"),
     ("repro/net/campaign.py", "run_campaign", "campaign.run"),
+    ("repro/net/kernel.py", "SimKernel.run", "net.kernel.run"),
+    ("repro/net/trickle.py", "run_trickle", "net.trickle.run"),
+    ("repro/net/gossip.py", "run_gossip", "net.gossip.run"),
     ("repro/net/faults.py", "generate_fault_plan", "net.fault.plan"),
     ("repro/sim/executor.py", "Simulator.run", "sim.run"),
     ("repro/ilp/solver.py", "solve", "ilp.solve"),

@@ -36,8 +36,23 @@ Fault-tolerant campaigns
     :class:`~repro.net.campaign.CampaignReport` (quarantined nodes,
     fault log, retransmission overhead) instead of raising.
 
+Event kernel and kernel protocols
+    :mod:`~repro.net.kernel` is the deterministic event-driven
+    simulation kernel (binary-heap queue keyed ``(time, seq, node)``,
+    per-node radio-time accounting, :class:`~repro.net.kernel.DutyCycle`
+    idle-listen/sleep pricing); :mod:`~repro.net.fleet_sim` layers the
+    shared fleet machinery (bitmask staging banks, fault-plan events,
+    delivery coins, crash-consistent commit) on top, and
+    :func:`~repro.net.trickle.run_trickle` /
+    :func:`~repro.net.gossip.run_gossip` are the suppression-based
+    dissemination protocols built on it.  The flood campaign itself
+    runs on the kernel too (round ticks and fault-plan entries become
+    events), byte-identical to the retained synchronous loop.  See
+    docs/SIMULATOR.md for the determinism contract and parameters.
+
 Dissemination publishes ``net.*`` metrics and ``net.disseminate[_lossy]``
-spans into :mod:`repro.obs` — see docs/OBSERVABILITY.md.
+/ ``net.kernel.run`` / ``net.trickle.run`` / ``net.gossip.run`` spans
+into :mod:`repro.obs` — see docs/OBSERVABILITY.md.
 """
 
 from .dissemination import (
@@ -74,7 +89,7 @@ from .node_state import (
     packet_crc,
     packetise_blob,
 )
-from .campaign import CampaignReport, run_campaign
+from .campaign import CampaignReport, PROTOCOLS, ROUND_S, run_campaign
 
 __all__ += [
     "CampaignReport",
@@ -83,10 +98,43 @@ __all__ += [
     "FaultPlan",
     "NodeCrash",
     "NodeUpdateState",
+    "PROTOCOLS",
     "PartitionWindow",
+    "ROUND_S",
     "ScriptPacket",
     "generate_fault_plan",
     "packet_crc",
     "packetise_blob",
     "run_campaign",
+]
+
+from .kernel import (
+    ALWAYS_ON,
+    DutyCycle,
+    EventHandle,
+    KernelReport,
+    LPL_1,
+    LPL_10,
+    SimKernel,
+    rounds_equivalent,
+)
+from .fleet_sim import FleetNode, FleetSim
+from .gossip import GossipParams, run_gossip
+from .trickle import TrickleParams, run_trickle
+
+__all__ += [
+    "ALWAYS_ON",
+    "DutyCycle",
+    "EventHandle",
+    "FleetNode",
+    "FleetSim",
+    "GossipParams",
+    "KernelReport",
+    "LPL_1",
+    "LPL_10",
+    "SimKernel",
+    "TrickleParams",
+    "rounds_equivalent",
+    "run_gossip",
+    "run_trickle",
 ]

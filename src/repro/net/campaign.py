@@ -24,13 +24,16 @@ import json
 import random
 import zlib
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
 from ..energy.power_model import MICA2, PowerModel
+from ..fastpath import fastpath_enabled
 from ..obs import metrics, trace
 from .dissemination import PATCH_CYCLES_PER_BYTE, NodeLedger
 from .errors import NetConfigError
 from .faults import FaultPlan
+from .kernel import SimKernel
 from .lossy import NACK_BYTES
 from .node_state import APPLY_ROUNDS, NodeUpdateState, packetise_blob
 from .topology import Topology
@@ -154,6 +157,15 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+#: Seconds of kernel time one campaign round occupies when the flood
+#: loop runs on the event kernel (and when fault-plan rounds are
+#: mapped to kernel time for the trickle/gossip protocols).
+ROUND_S = 1.0
+
+#: Dissemination protocols :func:`run_campaign` can drive.
+PROTOCOLS = ("flood", "trickle", "gossip")
+
+
 def run_campaign(
     topology: Topology,
     blob: bytes,
@@ -169,19 +181,53 @@ def run_campaign(
     new_version: int = 1,
     apply_rounds: int = APPLY_ROUNDS,
     stall_limit: int = DEFAULT_STALL_LIMIT,
-) -> CampaignReport:
+    protocol: str = "flood",
+):
     """Disseminate ``blob`` to every reachable node under ``plan``.
 
     Never raises for an unconverged fleet: nodes the campaign cannot
     update within the budget (dead forever, partitioned past the stall
     limit, beyond ``max_rounds``) come back quarantined in a
     ``"partial"`` report.  Deterministic given ``(seed, plan)``.
+
+    ``protocol`` selects the dissemination machinery: ``"flood"`` (the
+    default) is the synchronous NACK-repair flood returning a
+    :class:`CampaignReport`; ``"trickle"`` and ``"gossip"`` run the
+    event-kernel protocols (:func:`repro.net.trickle.run_trickle`,
+    :func:`repro.net.gossip.run_gossip`) with a time budget of
+    ``max_rounds * ROUND_S`` seconds and return a
+    :class:`~repro.net.kernel.KernelReport` (same consumer surface:
+    ``converged`` / ``outcome`` / ``render`` / ``digest``).
     """
     if not 0.0 <= loss < 1.0:
         raise NetConfigError(
             "loss", loss, f"loss probability {loss} out of [0, 1)"
         )
+    if protocol not in PROTOCOLS:
+        raise NetConfigError(
+            "protocol", protocol,
+            f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}",
+        )
     plan = plan if plan is not None else FaultPlan()
+    if protocol != "flood":
+        from .gossip import run_gossip
+        from .trickle import run_trickle
+
+        runner = run_trickle if protocol == "trickle" else run_gossip
+        return runner(
+            topology,
+            blob,
+            plan,
+            loss=loss,
+            seed=seed,
+            power=power,
+            max_time=max_rounds * ROUND_S,
+            payload_per_packet=payload_per_packet,
+            overhead_per_packet=overhead_per_packet,
+            old_version=old_version,
+            new_version=new_version,
+            round_s=ROUND_S,
+        )
     with trace.span(
         "campaign.run",
         nodes=topology.node_count,
@@ -221,6 +267,421 @@ def run_campaign(
     return report
 
 
+class _CampaignEngine:
+    """State and round phases of one flood campaign.
+
+    Two drivers share this engine: the retained synchronous ``while``
+    loop (:func:`_drive_rounds`, the reference path) and the
+    event-kernel driver (:func:`_drive_kernel`, the fast path), which
+    schedules the round ticks and every fault-plan entry as kernel
+    events keyed ``(time, seq, node)``.  Both call the same methods in
+    the same order on the same RNG streams, so the resulting
+    :class:`CampaignReport` is byte-identical between them — pinned by
+    ``tests/test_campaign_kernel.py`` and the ``dissemination`` bench
+    area's in-harness digest check.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        blob: bytes,
+        plan: FaultPlan,
+        *,
+        loss: float,
+        seed: int,
+        power: PowerModel,
+        max_rounds: int,
+        payload_per_packet: int,
+        overhead_per_packet: int,
+        old_version: int,
+        new_version: int,
+        apply_rounds: int,
+        stall_limit: int,
+    ):
+        self.topology = topology
+        self.blob = blob
+        self.plan = plan
+        self.loss = loss
+        self.power = power
+        self.max_rounds = max_rounds
+        self.overhead_per_packet = overhead_per_packet
+        self.old_version = old_version
+        self.new_version = new_version
+        self.apply_rounds = apply_rounds
+        self.stall_limit = stall_limit
+
+        node_count = topology.node_count
+        self.node_count = node_count
+        self.packets = packetise_blob(blob, payload_per_packet)
+        self.count = len(self.packets)
+        self.blob_crc = zlib.crc32(blob) & 0xFFFFFFFF
+        self.nack_bits = 8 * NACK_BYTES
+        self.patch_j = PATCH_CYCLES_PER_BYTE * len(blob) * power.cycle_energy_j
+
+        # String seeding: deterministic across platforms (see fuzz.runner).
+        self.rng_link = random.Random(f"repro-campaign-link:{seed}")
+        self.rng_fault = random.Random(f"repro-campaign-fault:{plan.seed}")
+
+        hops = topology.hops_from_sink()
+        self.unreachable = tuple(
+            sorted(node for node in range(node_count) if node not in hops)
+        )
+
+        self.states = {
+            node: NodeUpdateState(
+                node=node, version=old_version, apply_rounds=apply_rounds
+            )
+            for node in range(node_count)
+        }
+        sink = self.states[0]
+        sink.committed = True
+        sink.version = new_version
+        sink.state = "committed"
+        sink.bank = {pkt.index: pkt.payload for pkt in self.packets}
+
+        if self.count == 0:
+            # Nothing to ship: every reachable node trivially holds the
+            # (empty) script and commits at once.
+            for node in range(1, node_count):
+                if node in self.unreachable:
+                    continue
+                state = self.states[node]
+                state.committed = True
+                state.version = new_version
+                state.state = "committed"
+
+        self.ledgers = {node: NodeLedger() for node in range(node_count)}
+        self.crashes_by_round: dict[int, list] = {}
+        self.reboots_by_round: dict[int, list] = {}
+        self.event_rounds: set[int] = set()
+        for crash in plan.crashes:
+            if crash.node >= node_count:
+                continue
+            self.crashes_by_round.setdefault(crash.round, []).append(crash)
+            if crash.round <= max_rounds:
+                self.event_rounds.add(crash.round)
+            if crash.reboot_round is not None:
+                self.reboots_by_round.setdefault(
+                    crash.reboot_round, []
+                ).append(crash)
+                if crash.reboot_round <= max_rounds:
+                    self.event_rounds.add(crash.reboot_round)
+        for window in plan.partitions:
+            # Events past the round budget can never fire; keeping them
+            # out of the stall bookkeeping lets a hopeless run stop early.
+            if window.start <= max_rounds:
+                self.event_rounds.add(window.start)
+            if window.end <= max_rounds:
+                self.event_rounds.add(window.end)
+
+        self.fault_log: list[str] = []
+        self.broadcasts = 0
+        self.nacks = 0
+        self.drops = 0
+        self.duplicates = 0
+        self.crc_rejections = 0
+        self.tx_counts: dict[tuple[int, int], int] = {}
+        self.rounds = 0
+        self.last_progress = 0
+        self.round_progress: dict[int, bool] = {}
+        self.partition_open: set[int] = set()
+
+    # -- predicates ------------------------------------------------------
+
+    def link_up(self, a: int, b: int, round_no: int) -> bool:
+        return not any(
+            w.severs(a, b, round_no) for w in self.plan.partitions
+        )
+
+    def pending_nodes(self) -> list[int]:
+        """Reachable nodes not yet committed that can still recover."""
+        out = []
+        for node in range(1, self.node_count):
+            if node in self.unreachable or self.states[node].committed:
+                continue
+            if self.states[node].alive:
+                out.append(node)
+            elif any(
+                crash.node == node and crash.reboot_round is not None
+                and crash.reboot_round > self.rounds
+                for crash in self.plan.crashes
+            ):
+                out.append(node)
+        return out
+
+    def advance_round(self) -> bool:
+        """The round tick: termination checks, then the round counter.
+
+        Returns ``False`` (without advancing) when the campaign is done
+        — fleet converged, or stalled with no scheduled fault event
+        still to come (bounded retry: such a fleet will never make
+        progress, so stop burning rounds).
+        """
+        if not self.pending_nodes():
+            return False
+        if self.rounds - self.last_progress >= self.stall_limit and not any(
+            event > self.rounds for event in self.event_rounds
+        ):
+            return False
+        self.rounds += 1
+        self.round_progress = {}
+        return True
+
+    # -- fault events ----------------------------------------------------
+
+    def fire_crash(self, crash) -> None:
+        self.states[crash.node].crash()
+        metrics.counter("net.fault.crashes").inc()
+        detail = (
+            "after commit"
+            if self.states[crash.node].committed
+            else "staging bank lost"
+        )
+        self.fault_log.append(
+            f"r{self.rounds}: node {crash.node} crashed ({detail})"
+        )
+
+    def fire_reboot(self, crash) -> None:
+        state = self.states[crash.node]
+        state.reboot(self.rounds)
+        metrics.counter("net.fault.reboots").inc()
+        image = "new image" if state.committed else "golden image"
+        self.fault_log.append(
+            f"r{self.rounds}: node {crash.node} rebooted "
+            f"({image} v{state.version})"
+        )
+
+    def fire_partition(self, index: int, opening: bool) -> None:
+        window = self.plan.partitions[index]
+        island = ",".join(str(n) for n in window.nodes)
+        if opening:
+            if index in self.partition_open:
+                return
+            self.partition_open.add(index)
+            metrics.counter("net.fault.partitions").inc()
+            self.fault_log.append(
+                f"r{self.rounds}: partition {{{island}}} isolated"
+            )
+        else:
+            if index not in self.partition_open:
+                return
+            self.partition_open.discard(index)
+            self.fault_log.append(
+                f"r{self.rounds}: partition {{{island}}} healed"
+            )
+
+    def apply_faults(self) -> None:
+        """This round's fault-plan entries, in the pinned order:
+        crashes (plan order), reboots (plan order), partition
+        open/close (window order)."""
+        for crash in self.crashes_by_round.get(self.rounds, ()):
+            self.fire_crash(crash)
+        for crash in self.reboots_by_round.get(self.rounds, ()):
+            self.fire_reboot(crash)
+        for index, window in enumerate(self.plan.partitions):
+            if window.start == self.rounds:
+                self.fire_partition(index, True)
+            if window.end == self.rounds:
+                self.fire_partition(index, False)
+
+    # -- the round body --------------------------------------------------
+
+    def run_phases(self) -> None:
+        """One round's NACK, broadcast, and apply phases."""
+        topology = self.topology
+        states = self.states
+        ledgers = self.ledgers
+        plan = self.plan
+        power = self.power
+        count = self.count
+        rounds = self.rounds
+        node_count = self.node_count
+        round_progress = self.round_progress
+
+        # -- NACK phase (backoff-gated version/missing advertisement) ----
+        for node in range(1, node_count):
+            state = states[node]
+            if not state.should_nack(rounds, count):
+                continue
+            self.nacks += 1
+            state.note_nack(rounds, count)
+            ledgers[node].tx_j += self.nack_bits * power.tx_bit_energy_j
+            for peer in topology.neighbors.get(node, ()):
+                if states[peer].alive and self.link_up(node, peer, rounds):
+                    ledgers[peer].rx_j += (
+                        self.nack_bits * power.rx_bit_energy_j
+                    )
+
+        # -- broadcast phase (snapshot: hop-by-hop progression) ----------
+        snapshot = {
+            node: frozenset(states[node].bank) for node in range(node_count)
+        }
+        for sender in range(node_count):
+            state = states[sender]
+            if not state.alive or not snapshot[sender]:
+                continue
+            neighbours = [
+                peer
+                for peer in topology.neighbors.get(sender, ())
+                if states[peer].alive and self.link_up(sender, peer, rounds)
+            ]
+            if not neighbours:
+                continue
+            wanted: set[int] = set()
+            for peer in neighbours:
+                wanted |= states[peer].advertised_missing
+            sendable = sorted(snapshot[sender] & wanted)
+            for index in sendable:
+                packet = self.packets[index]
+                bits = 8 * (len(packet.payload) + self.overhead_per_packet)
+                self.broadcasts += 1
+                key = (sender, index)
+                self.tx_counts[key] = self.tx_counts.get(key, 0) + 1
+                ledgers[sender].tx_j += bits * power.tx_bit_energy_j
+                ledgers[sender].packets_sent += 1
+                for peer in neighbours:
+                    peer_state = states[peer]
+                    if peer_state.committed or index in peer_state.bank:
+                        continue
+                    deliveries = 1
+                    if (
+                        plan.duplicate_prob
+                        and self.rng_fault.random() < plan.duplicate_prob
+                    ):
+                        deliveries = 2
+                    for _ in range(deliveries):
+                        ledgers[peer].rx_j += bits * power.rx_bit_energy_j
+                        if self.rng_link.random() < self.loss:
+                            self.drops += 1
+                            continue
+                        delivered = packet
+                        if (
+                            plan.corrupt_prob
+                            and self.rng_fault.random() < plan.corrupt_prob
+                        ):
+                            delivered = packet.corrupted(
+                                self.rng_fault.randrange(1 << 16)
+                            )
+                        verdict = peer_state.receive(delivered, count)
+                        if verdict == "accepted":
+                            ledgers[peer].packets_received += 1
+                            round_progress[peer] = True
+                            self.last_progress = rounds
+                        elif verdict == "corrupt":
+                            self.crc_rejections += 1
+                        elif verdict == "duplicate":
+                            self.duplicates += 1
+
+        # -- apply phase (two-bank write, commit = boot-pointer flip) ----
+        for node in range(1, node_count):
+            state = states[node]
+            if state.state not in ("staged", "applying"):
+                continue
+            if state.state == "staged" and (
+                zlib.crc32(state.assembled_blob()) & 0xFFFFFFFF
+            ) != self.blob_crc:
+                # Whole-script verification failed: discard and re-sync.
+                # Unreachable with per-packet CRCs, but the state machine
+                # never flips the boot pointer on an unverified bank.
+                state.bank.clear()
+                state.state = "idle"
+                continue
+            ledgers[node].cpu_j += self.patch_j / max(1, self.apply_rounds)
+            if state.tick_apply(self.new_version):
+                round_progress[node] = True
+                self.last_progress = rounds
+
+        for node in range(1, node_count):
+            if states[node].alive and not states[node].committed:
+                states[node].note_round(round_progress.get(node, False))
+
+    # -- reporting -------------------------------------------------------
+
+    def build_report(self) -> CampaignReport:
+        quarantined = tuple(
+            sorted(
+                node
+                for node in range(1, self.node_count)
+                if not self.states[node].committed
+            )
+        )
+        retransmissions = sum(
+            c - 1 for c in self.tx_counts.values() if c > 1
+        )
+        outcome = "converged" if not quarantined else "partial"
+        return CampaignReport(
+            outcome=outcome,
+            rounds=self.rounds,
+            packets=self.count,
+            script_bytes=len(self.blob),
+            old_version=self.old_version,
+            new_version=self.new_version,
+            node_versions={
+                node: self.states[node].version
+                for node in range(self.node_count)
+            },
+            quarantined=quarantined,
+            unreachable=self.unreachable,
+            ledgers=self.ledgers,
+            broadcasts=self.broadcasts,
+            retransmissions=retransmissions,
+            nacks=self.nacks,
+            drops=self.drops,
+            crc_rejections=self.crc_rejections,
+            duplicates=self.duplicates,
+            fault_log=self.fault_log,
+            plan_digest=self.plan.digest(),
+        )
+
+
+def _drive_rounds(engine: _CampaignEngine) -> None:
+    """The retained synchronous round loop (the reference path)."""
+    while engine.rounds < engine.max_rounds:
+        if not engine.advance_round():
+            break
+        engine.apply_faults()
+        engine.run_phases()
+
+
+def _drive_kernel(engine: _CampaignEngine) -> None:
+    """Drive the same engine from the event kernel (the fast path).
+
+    Every round tick and every fault-plan entry becomes a kernel event
+    at time ``round * ROUND_S``; within one instant the schedule order
+    — tick, crashes (plan order), reboots (plan order), partition
+    open/close (window order), phases — reproduces the reference
+    loop's sequencing via the kernel's ``(time, seq, node)`` key.
+    """
+    kernel = SimKernel(engine.node_count, power=engine.power)
+
+    def tick() -> None:
+        if not engine.advance_round():
+            kernel.stop()
+
+    for round_no in range(1, engine.max_rounds + 1):
+        at = round_no * ROUND_S
+        kernel.schedule_at(at, 0, tick)
+        for crash in engine.crashes_by_round.get(round_no, ()):
+            kernel.schedule_at(
+                at, crash.node, partial(engine.fire_crash, crash)
+            )
+        for crash in engine.reboots_by_round.get(round_no, ()):
+            kernel.schedule_at(
+                at, crash.node, partial(engine.fire_reboot, crash)
+            )
+        for index, window in enumerate(engine.plan.partitions):
+            if window.start == round_no:
+                kernel.schedule_at(
+                    at, 0, partial(engine.fire_partition, index, True)
+                )
+            if window.end == round_no:
+                kernel.schedule_at(
+                    at, 0, partial(engine.fire_partition, index, False)
+                )
+        kernel.schedule_at(at, 0, engine.run_phases)
+    kernel.run()
+
+
 def _run_campaign(
     topology: Topology,
     blob: bytes,
@@ -237,265 +698,32 @@ def _run_campaign(
     apply_rounds: int,
     stall_limit: int,
 ) -> CampaignReport:
-    node_count = topology.node_count
-    packets = packetise_blob(blob, payload_per_packet)
-    count = len(packets)
-    blob_crc = zlib.crc32(blob) & 0xFFFFFFFF
-    nack_bits = 8 * NACK_BYTES
-    patch_j = PATCH_CYCLES_PER_BYTE * len(blob) * power.cycle_energy_j
-
-    # String seeding: deterministic across platforms (see fuzz.runner).
-    rng_link = random.Random(f"repro-campaign-link:{seed}")
-    rng_fault = random.Random(f"repro-campaign-fault:{plan.seed}")
-
-    hops = topology.hops_from_sink()
-    unreachable = tuple(
-        sorted(node for node in range(node_count) if node not in hops)
-    )
-
-    states = {
-        node: NodeUpdateState(
-            node=node, version=old_version, apply_rounds=apply_rounds
-        )
-        for node in range(node_count)
-    }
-    sink = states[0]
-    sink.committed = True
-    sink.version = new_version
-    sink.state = "committed"
-    sink.bank = {pkt.index: pkt.payload for pkt in packets}
-
-    if count == 0:
-        # Nothing to ship: every reachable node trivially holds the
-        # (empty) script and commits at once.
-        for node in range(1, node_count):
-            if node in unreachable:
-                continue
-            state = states[node]
-            state.committed = True
-            state.version = new_version
-            state.state = "committed"
-
-    ledgers = {node: NodeLedger() for node in range(node_count)}
-    crashes_by_round: dict[int, list] = {}
-    reboots_by_round: dict[int, list] = {}
-    event_rounds: set[int] = set()
-    for crash in plan.crashes:
-        if crash.node >= node_count:
-            continue
-        crashes_by_round.setdefault(crash.round, []).append(crash)
-        if crash.round <= max_rounds:
-            event_rounds.add(crash.round)
-        if crash.reboot_round is not None:
-            reboots_by_round.setdefault(crash.reboot_round, []).append(crash)
-            if crash.reboot_round <= max_rounds:
-                event_rounds.add(crash.reboot_round)
-    for window in plan.partitions:
-        # Events past the round budget can never fire; keeping them out
-        # of the stall bookkeeping lets a hopeless run stop early.
-        if window.start <= max_rounds:
-            event_rounds.add(window.start)
-        if window.end <= max_rounds:
-            event_rounds.add(window.end)
-
-    fault_log: list[str] = []
-    broadcasts = 0
-    nacks = 0
-    drops = 0
-    duplicates = 0
-    crc_rejections = 0
-    tx_counts: dict[tuple[int, int], int] = {}
-    rounds = 0
-    last_progress = 0
-
-    def link_up(a: int, b: int, round_no: int) -> bool:
-        return not any(w.severs(a, b, round_no) for w in plan.partitions)
-
-    def pending_nodes() -> list[int]:
-        """Reachable nodes not yet committed that can still recover."""
-        out = []
-        for node in range(1, node_count):
-            if node in unreachable or states[node].committed:
-                continue
-            if states[node].alive:
-                out.append(node)
-            elif any(
-                crash.node == node and crash.reboot_round is not None
-                and crash.reboot_round > rounds
-                for crash in plan.crashes
-            ):
-                out.append(node)
-        return out
-
-    partition_open: set[int] = set()
-    while rounds < max_rounds:
-        if not pending_nodes():
-            break
-        # Bounded retry: a stalled fleet with no scheduled fault event
-        # still to come will never make progress — stop burning rounds.
-        if rounds - last_progress >= stall_limit and not any(
-            event > rounds for event in event_rounds
-        ):
-            break
-        rounds += 1
-        round_progress: dict[int, bool] = {}
-
-        # -- fault events ------------------------------------------------
-        for crash in crashes_by_round.get(rounds, ()):
-            states[crash.node].crash()
-            metrics.counter("net.fault.crashes").inc()
-            detail = (
-                "after commit"
-                if states[crash.node].committed
-                else "staging bank lost"
-            )
-            fault_log.append(f"r{rounds}: node {crash.node} crashed ({detail})")
-        for crash in reboots_by_round.get(rounds, ()):
-            state = states[crash.node]
-            state.reboot(rounds)
-            metrics.counter("net.fault.reboots").inc()
-            image = "new image" if state.committed else "golden image"
-            fault_log.append(
-                f"r{rounds}: node {crash.node} rebooted "
-                f"({image} v{state.version})"
-            )
-        for index, window in enumerate(plan.partitions):
-            if window.start == rounds and index not in partition_open:
-                partition_open.add(index)
-                metrics.counter("net.fault.partitions").inc()
-                island = ",".join(str(n) for n in window.nodes)
-                fault_log.append(f"r{rounds}: partition {{{island}}} isolated")
-            if window.end == rounds and index in partition_open:
-                partition_open.discard(index)
-                island = ",".join(str(n) for n in window.nodes)
-                fault_log.append(f"r{rounds}: partition {{{island}}} healed")
-
-        # -- NACK phase (backoff-gated version/missing advertisement) ----
-        for node in range(1, node_count):
-            state = states[node]
-            if not state.should_nack(rounds, count):
-                continue
-            nacks += 1
-            state.note_nack(rounds, count)
-            ledgers[node].tx_j += nack_bits * power.tx_bit_energy_j
-            for peer in topology.neighbors.get(node, ()):
-                if states[peer].alive and link_up(node, peer, rounds):
-                    ledgers[peer].rx_j += nack_bits * power.rx_bit_energy_j
-
-        # -- broadcast phase (snapshot: hop-by-hop progression) ----------
-        snapshot = {
-            node: frozenset(states[node].bank) for node in range(node_count)
-        }
-        for sender in range(node_count):
-            state = states[sender]
-            if not state.alive or not snapshot[sender]:
-                continue
-            neighbours = [
-                peer
-                for peer in topology.neighbors.get(sender, ())
-                if states[peer].alive and link_up(sender, peer, rounds)
-            ]
-            if not neighbours:
-                continue
-            wanted: set[int] = set()
-            for peer in neighbours:
-                wanted |= states[peer].advertised_missing
-            sendable = sorted(snapshot[sender] & wanted)
-            for index in sendable:
-                packet = packets[index]
-                bits = 8 * (len(packet.payload) + overhead_per_packet)
-                broadcasts += 1
-                key = (sender, index)
-                tx_counts[key] = tx_counts.get(key, 0) + 1
-                ledgers[sender].tx_j += bits * power.tx_bit_energy_j
-                ledgers[sender].packets_sent += 1
-                for peer in neighbours:
-                    peer_state = states[peer]
-                    if peer_state.committed or index in peer_state.bank:
-                        continue
-                    deliveries = 1
-                    if (
-                        plan.duplicate_prob
-                        and rng_fault.random() < plan.duplicate_prob
-                    ):
-                        deliveries = 2
-                    for _ in range(deliveries):
-                        ledgers[peer].rx_j += bits * power.rx_bit_energy_j
-                        if rng_link.random() < loss:
-                            drops += 1
-                            continue
-                        delivered = packet
-                        if (
-                            plan.corrupt_prob
-                            and rng_fault.random() < plan.corrupt_prob
-                        ):
-                            delivered = packet.corrupted(
-                                rng_fault.randrange(1 << 16)
-                            )
-                        verdict = peer_state.receive(delivered, count)
-                        if verdict == "accepted":
-                            ledgers[peer].packets_received += 1
-                            round_progress[peer] = True
-                            last_progress = rounds
-                        elif verdict == "corrupt":
-                            crc_rejections += 1
-                        elif verdict == "duplicate":
-                            duplicates += 1
-
-        # -- apply phase (two-bank write, commit = boot-pointer flip) ----
-        for node in range(1, node_count):
-            state = states[node]
-            if state.state not in ("staged", "applying"):
-                continue
-            if state.state == "staged" and (
-                zlib.crc32(state.assembled_blob()) & 0xFFFFFFFF
-            ) != blob_crc:
-                # Whole-script verification failed: discard and re-sync.
-                # Unreachable with per-packet CRCs, but the state machine
-                # never flips the boot pointer on an unverified bank.
-                state.bank.clear()
-                state.state = "idle"
-                continue
-            ledgers[node].cpu_j += patch_j / max(1, apply_rounds)
-            if state.tick_apply(new_version):
-                round_progress[node] = True
-                last_progress = rounds
-
-        for node in range(1, node_count):
-            if states[node].alive and not states[node].committed:
-                states[node].note_round(round_progress.get(node, False))
-
-    quarantined = tuple(
-        sorted(
-            node
-            for node in range(1, node_count)
-            if not states[node].committed
-        )
-    )
-    retransmissions = sum(c - 1 for c in tx_counts.values() if c > 1)
-    outcome = "converged" if not quarantined else "partial"
-    return CampaignReport(
-        outcome=outcome,
-        rounds=rounds,
-        packets=count,
-        script_bytes=len(blob),
+    engine = _CampaignEngine(
+        topology,
+        blob,
+        plan,
+        loss=loss,
+        seed=seed,
+        power=power,
+        max_rounds=max_rounds,
+        payload_per_packet=payload_per_packet,
+        overhead_per_packet=overhead_per_packet,
         old_version=old_version,
         new_version=new_version,
-        node_versions={
-            node: states[node].version for node in range(node_count)
-        },
-        quarantined=quarantined,
-        unreachable=unreachable,
-        ledgers=ledgers,
-        broadcasts=broadcasts,
-        retransmissions=retransmissions,
-        nacks=nacks,
-        drops=drops,
-        crc_rejections=crc_rejections,
-        duplicates=duplicates,
-        fault_log=fault_log,
-        plan_digest=plan.digest(),
+        apply_rounds=apply_rounds,
+        stall_limit=stall_limit,
     )
+    if fastpath_enabled():
+        _drive_kernel(engine)
+    else:
+        _drive_rounds(engine)
+    return engine.build_report()
 
 
-__all__ = ["CampaignReport", "DEFAULT_STALL_LIMIT", "run_campaign"]
+__all__ = [
+    "CampaignReport",
+    "DEFAULT_STALL_LIMIT",
+    "PROTOCOLS",
+    "ROUND_S",
+    "run_campaign",
+]

@@ -26,17 +26,28 @@ from .topology import Topology
 
 @dataclass
 class NodeLedger:
-    """Per-node energy bookkeeping (joules)."""
+    """Per-node energy bookkeeping (joules).
+
+    The synchronous-round protocols only ever fill ``tx_j`` / ``rx_j``
+    / ``cpu_j``; the event-kernel protocols (:mod:`repro.net.trickle`,
+    :mod:`repro.net.gossip`) additionally price the radio's
+    *idle-listening* time (``idle_j`` — the duty-cycled listen budget
+    not spent receiving) and the node's ``sleep_j`` floor.  Both default
+    to zero so ledgers from the round-based paths are byte-identical to
+    what they were before the kernel existed.
+    """
 
     tx_j: float = 0.0
     rx_j: float = 0.0
     cpu_j: float = 0.0
+    idle_j: float = 0.0
+    sleep_j: float = 0.0
     packets_sent: int = 0
     packets_received: int = 0
 
     @property
     def total_j(self) -> float:
-        return self.tx_j + self.rx_j + self.cpu_j
+        return self.tx_j + self.rx_j + self.cpu_j + self.idle_j + self.sleep_j
 
 
 @dataclass

@@ -1,0 +1,441 @@
+"""Shared fleet machinery for kernel-based dissemination protocols.
+
+:class:`FleetSim` is the substrate :mod:`repro.net.trickle` and
+:mod:`repro.net.gossip` build on: lightweight per-node state (a
+bitmask staging bank instead of per-packet byte buffers, which is what
+keeps 100k-node fleets in memory), fault-plan events scheduled on the
+:class:`~repro.net.kernel.SimKernel` clock (crash/reboot/partition
+windows fire as kernel events, logged exactly once), the per-delivery
+fault coins (loss, corruption, duplication) in a fixed draw order, the
+crash-consistent apply/commit step, and the
+:class:`~repro.net.kernel.KernelReport` finalisation with idle-listen
+and sleep energy from the kernel's duty-cycle ledger.
+
+Fault-plan *rounds* map to kernel time as ``round * round_s`` — a plan
+authored for the synchronous flood campaign drives the continuous-time
+protocols unchanged.
+
+Determinism: every ``random.Random`` stream is seeded with a derived
+``"repro-<component>...:<seed>"`` string (``RNG001``) and drawn only
+from inside kernel event handlers, whose order the kernel pins.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import partial
+from typing import List, Optional
+
+from ..energy.power_model import PowerModel
+from ..obs import metrics
+from .dissemination import PATCH_CYCLES_PER_BYTE
+from .errors import NetConfigError
+from .faults import FaultPlan
+from .kernel import DutyCycle, KernelReport, SimKernel, rounds_equivalent
+from .node_state import packetise_blob
+from .topology import Topology
+
+
+class FleetNode:
+    """Per-node protocol state, sized for 100k-node fleets.
+
+    The staging bank is an integer bitmask over packet indices (the
+    packet payloads themselves are global — every node would stage the
+    same bytes), so a node costs a few hundred bytes regardless of
+    script size.
+    """
+
+    __slots__ = (
+        "held",
+        "alive",
+        "committed",
+        "interval",
+        "c",
+        "timer",
+        "respond",
+        "request_evt",
+        "pending",
+        "apply_evt",
+    )
+
+    def __init__(self) -> None:
+        self.held = 0
+        self.alive = True
+        self.committed = False
+        self.interval = 0.0
+        self.c = 0
+        self.timer = None
+        self.respond = None
+        self.request_evt = None
+        self.pending = 0
+        self.apply_evt = None
+
+
+class FleetSim:
+    """One protocol run over a fleet: nodes, faults, energy, report.
+
+    Subclasses implement :meth:`start` (schedule the initial per-node
+    timers) and may override the :meth:`on_reboot` /
+    :meth:`on_overhear_data` / :meth:`on_commit` hooks; everything else
+    — fault events, delivery coins, apply/commit, report building — is
+    shared so flood-era fault plans behave identically under every
+    kernel protocol.
+    """
+
+    protocol = "kernel"
+
+    def __init__(
+        self,
+        topology: Topology,
+        blob: bytes,
+        plan: Optional[FaultPlan],
+        *,
+        loss: float,
+        seed: int,
+        power: PowerModel,
+        duty_cycle: DutyCycle,
+        payload_per_packet: int,
+        overhead_per_packet: int,
+        old_version: int,
+        new_version: int,
+        round_s: float,
+        apply_s: float,
+        component: str,
+    ):
+        if not 0.0 <= loss < 1.0:
+            raise NetConfigError(
+                "loss", loss, f"loss probability {loss} out of [0, 1)"
+            )
+        if round_s <= 0.0:
+            raise NetConfigError(
+                "round_s", round_s, f"round_s must be positive, got {round_s}"
+            )
+        self.topology = topology
+        self.plan = plan if plan is not None else FaultPlan()
+        self.loss = loss
+        self.power = power
+        self.round_s = round_s
+        self.apply_s = apply_s
+        self.old_version = old_version
+        self.new_version = new_version
+        self.overhead_per_packet = overhead_per_packet
+
+        node_count = topology.node_count
+        self.kernel = SimKernel(node_count, power=power, duty_cycle=duty_cycle)
+        # Derived string seeds (RNG001): one stream for protocol timer
+        # jitter, one for link loss, one for the fault plan's coins.
+        self.rng = random.Random(f"repro-{component}:{seed}")
+        self.rng_link = random.Random(f"repro-{component}-link:{seed}")
+        self.rng_fault = random.Random(f"repro-{component}-fault:{self.plan.seed}")
+
+        self.packets = packetise_blob(blob, payload_per_packet)
+        self.count = len(self.packets)
+        self.script_bytes = len(blob)
+        self.full_mask = (1 << self.count) - 1
+        self.packet_bits = [
+            8 * (len(pkt.payload) + overhead_per_packet) for pkt in self.packets
+        ]
+        self.patch_j = PATCH_CYCLES_PER_BYTE * len(blob) * power.cycle_energy_j
+
+        hops = topology.hops_from_sink()
+        self.unreachable = tuple(
+            sorted(node for node in range(node_count) if node not in hops)
+        )
+        unreachable_set = set(self.unreachable)
+
+        self.nodes: List[FleetNode] = [FleetNode() for _ in range(node_count)]
+        sink = self.nodes[0]
+        sink.held = self.full_mask
+        sink.committed = True
+
+        self.cpu_j = [0.0] * node_count
+        self.sent = [0] * node_count
+        self.received = [0] * node_count
+        self.fault_log: "list[str]" = []
+        self.transmissions = 0
+        self.beacons = 0
+        self.requests = 0
+        self.suppressed = 0
+        self.resets = 0
+        self.drops = 0
+        self.crc_rejections = 0
+        self.duplicates = 0
+
+        self.remaining = sum(
+            1
+            for node in range(1, node_count)
+            if node not in unreachable_set
+        )
+        if self.count == 0:
+            # Nothing to ship: every reachable node trivially holds the
+            # (empty) script and commits at time zero.
+            for node in range(1, node_count):
+                if node not in unreachable_set:
+                    self.nodes[node].committed = True
+            self.remaining = 0
+
+        self._partition_open: "set[int]" = set()
+        self._schedule_faults()
+
+    # -- fault plan as kernel events ------------------------------------
+
+    def _schedule_faults(self) -> None:
+        node_count = self.topology.node_count
+        for crash in self.plan.crashes:
+            if crash.node >= node_count:
+                continue
+            self.kernel.schedule_at(
+                crash.round * self.round_s,
+                crash.node,
+                partial(self._crash, crash.node),
+            )
+            if crash.reboot_round is not None:
+                self.kernel.schedule_at(
+                    crash.reboot_round * self.round_s,
+                    crash.node,
+                    partial(self._reboot, crash.node),
+                )
+        for index, window in enumerate(self.plan.partitions):
+            self.kernel.schedule_at(
+                window.start * self.round_s,
+                0,
+                partial(self._partition_event, index, True),
+            )
+            self.kernel.schedule_at(
+                window.end * self.round_s,
+                0,
+                partial(self._partition_event, index, False),
+            )
+
+    def _crash(self, node: int) -> None:
+        state = self.nodes[node]
+        if not state.alive:
+            return
+        state.alive = False
+        metrics.counter("net.fault.crashes").inc()
+        detail = "after commit" if state.committed else "staging bank lost"
+        self.fault_log.append(
+            f"t{self.kernel.now:g}: node {node} crashed ({detail})"
+        )
+        if not state.committed:
+            # Volatile staging state is gone; the boot pointer never
+            # moved, so the resident golden image survives.
+            state.held = 0
+        for handle in (
+            state.timer, state.respond, state.request_evt, state.apply_evt
+        ):
+            if handle is not None:
+                handle.cancel()
+        state.timer = state.respond = state.request_evt = state.apply_evt = None
+        state.pending = 0
+
+    def _reboot(self, node: int) -> None:
+        state = self.nodes[node]
+        if state.alive:
+            return
+        state.alive = True
+        metrics.counter("net.fault.reboots").inc()
+        image = "new image" if state.committed else "golden image"
+        version = self.new_version if state.committed else self.old_version
+        self.fault_log.append(
+            f"t{self.kernel.now:g}: node {node} rebooted ({image} v{version})"
+        )
+        self.on_reboot(node)
+
+    def _partition_event(self, index: int, opening: bool) -> None:
+        window = self.plan.partitions[index]
+        island = ",".join(str(node) for node in window.nodes)
+        if opening:
+            if index in self._partition_open:
+                return
+            self._partition_open.add(index)
+            metrics.counter("net.fault.partitions").inc()
+            self.fault_log.append(
+                f"t{self.kernel.now:g}: partition {{{island}}} isolated"
+            )
+        else:
+            if index not in self._partition_open:
+                return
+            self._partition_open.discard(index)
+            self.fault_log.append(
+                f"t{self.kernel.now:g}: partition {{{island}}} healed"
+            )
+
+    def link_up(self, a: int, b: int) -> bool:
+        """Is the ``a``—``b`` link usable at the current kernel time?"""
+        if not self.plan.partitions:
+            return True
+        round_no = int(self.kernel.now / self.round_s)
+        return not any(
+            window.severs(a, b, round_no) for window in self.plan.partitions
+        )
+
+    # -- data delivery (shared coin order) ------------------------------
+
+    def broadcast_data(self, sender: int, batch: "list[int]") -> int:
+        """Broadcast the packets in ``batch`` from ``sender`` to every
+        alive, connected neighbour; returns the batch's bitmask.
+
+        Per receiver and packet the fault coins are drawn in a fixed
+        order — duplication, then loss, then corruption — matching the
+        flood campaign's delivery model, so a fault plan stresses every
+        protocol the same way.
+        """
+        mask = 0
+        bits = 0
+        for index in batch:
+            mask |= 1 << index
+            bits += self.packet_bits[index]
+        self.transmissions += len(batch)
+        self.sent[sender] += len(batch)
+        self.kernel.account_tx(sender, bits)
+        for peer in self.topology.neighbors.get(sender, ()):
+            if not self.nodes[peer].alive or not self.link_up(sender, peer):
+                continue
+            self.kernel.account_rx(peer, bits)
+            self.on_overhear_data(peer, mask)
+            self._deliver(peer, batch)
+        return mask
+
+    def unicast_data(self, sender: int, receiver: int, batch: "list[int]") -> None:
+        """Point-to-point transfer of ``batch`` (gossip push/pull leg)."""
+        bits = sum(self.packet_bits[index] for index in batch)
+        self.transmissions += len(batch)
+        self.sent[sender] += len(batch)
+        self.kernel.account_tx(sender, bits)
+        self.kernel.account_rx(receiver, bits)
+        self._deliver(receiver, batch)
+
+    def _deliver(self, peer: int, batch: "list[int]") -> None:
+        state = self.nodes[peer]
+        if state.committed:
+            return
+        plan = self.plan
+        for index in batch:
+            deliveries = 1
+            if (
+                plan.duplicate_prob
+                and self.rng_fault.random() < plan.duplicate_prob
+            ):
+                deliveries = 2
+            for _ in range(deliveries):
+                if self.rng_link.random() < self.loss:
+                    self.drops += 1
+                    continue
+                if (
+                    plan.corrupt_prob
+                    and self.rng_fault.random() < plan.corrupt_prob
+                ):
+                    # A flipped payload byte fails the per-packet CRC;
+                    # the bank never stages it.
+                    self.crc_rejections += 1
+                    continue
+                bit = 1 << index
+                if state.held & bit:
+                    self.duplicates += 1
+                    continue
+                state.held |= bit
+                self.received[peer] += 1
+                if state.held == self.full_mask:
+                    self._stage_apply(peer)
+
+    # -- crash-consistent apply -----------------------------------------
+
+    def _stage_apply(self, node: int) -> None:
+        state = self.nodes[node]
+        if state.committed or state.apply_evt is not None:
+            return
+        state.apply_evt = self.kernel.schedule(
+            self.apply_s, node, partial(self._commit, node)
+        )
+
+    def _commit(self, node: int) -> None:
+        state = self.nodes[node]
+        state.apply_evt = None
+        if not state.alive or state.committed or state.held != self.full_mask:
+            return
+        self.cpu_j[node] += self.patch_j
+        state.committed = True
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.kernel.stop()
+        self.on_commit(node)
+
+    # -- protocol hooks --------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the protocol's initial per-node timers."""
+        raise NotImplementedError
+
+    def on_reboot(self, node: int) -> None:
+        """A crashed node came back; restart its timers."""
+
+    def on_overhear_data(self, node: int, mask: int) -> None:
+        """``node`` overheard a data broadcast covering ``mask``."""
+
+    def on_commit(self, node: int) -> None:
+        """``node`` flipped its boot pointer to the new image."""
+
+    # -- driving and reporting -------------------------------------------
+
+    def run(self, max_time: float) -> KernelReport:
+        """Drive the fleet to convergence or the time budget."""
+        if self.remaining > 0:
+            self.start()
+            self.kernel.run(max_time=max_time)
+        return self.build_report()
+
+    def build_report(self) -> KernelReport:
+        node_count = self.topology.node_count
+        ledgers = self.kernel.ledgers()
+        for node in range(node_count):
+            ledger = ledgers[node]
+            ledger.cpu_j = self.cpu_j[node]
+            ledger.packets_sent = self.sent[node]
+            ledger.packets_received = self.received[node]
+        quarantined = tuple(
+            sorted(
+                node
+                for node in range(1, node_count)
+                if not self.nodes[node].committed
+            )
+        )
+        node_versions = {
+            node: (
+                self.new_version
+                if self.nodes[node].committed
+                else self.old_version
+            )
+            for node in range(node_count)
+        }
+        return KernelReport(
+            protocol=self.protocol,
+            outcome="converged" if not quarantined else "partial",
+            time_s=self.kernel.now,
+            rounds=rounds_equivalent(self.kernel.now, self.round_s),
+            events=self.kernel.events_dispatched,
+            packets=self.count,
+            script_bytes=self.script_bytes,
+            old_version=self.old_version,
+            new_version=self.new_version,
+            node_versions=node_versions,
+            quarantined=quarantined,
+            unreachable=self.unreachable,
+            ledgers=ledgers,
+            transmissions=self.transmissions,
+            beacons=self.beacons,
+            requests=self.requests,
+            suppressed=self.suppressed,
+            resets=self.resets,
+            drops=self.drops,
+            crc_rejections=self.crc_rejections,
+            duplicates=self.duplicates,
+            duty_cycle=self.kernel.duty_cycle.name,
+            listen_fraction=self.kernel.duty_cycle.listen_fraction,
+            sleep_fraction=self.kernel.sleep_fraction(),
+            fault_log=self.fault_log,
+            plan_digest=self.plan.digest(),
+        )
+
+
+__all__ = ["FleetNode", "FleetSim"]

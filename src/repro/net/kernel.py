@@ -1,0 +1,415 @@
+"""Deterministic event-driven simulation kernel for ``repro.net``.
+
+The synchronous-round simulators (:func:`~repro.net.dissemination.disseminate`,
+:func:`~repro.net.lossy.disseminate_lossy`, the flood campaign loop)
+advance the whole fleet in lock-step, which caps them long before the
+fleet sizes the ROADMAP targets and hides the dominant real-world
+energy cost: a radio that is *listening*, not receiving.  This module
+is the continuous-time replacement those protocols (and the new
+Trickle/gossip ones) run on.
+
+Determinism contract (pinned by ``tests/test_kernel.py`` and
+``docs/SIMULATOR.md``):
+
+* The event queue is a binary heap keyed by ``(time, seq, node)``
+  where ``seq`` is a monotonically increasing schedule counter — two
+  events at the same instant always pop in the order they were
+  scheduled, on every platform and under every ``PYTHONHASHSEED``.
+* Handlers draw randomness only from ``random.Random`` streams seeded
+  with derived ``"repro-<component>:<seed>"`` strings (lint rule
+  ``RNG001``); because the pop order is deterministic, so is every
+  draw.
+* Cancellation is by handle invalidation (:class:`EventHandle`), never
+  by heap surgery, so the key order of the surviving events is
+  untouched.
+
+Energy model: the kernel accrues per-node radio *seconds* in TX and RX
+(``account_tx`` / ``account_rx``, bits divided by the radio bitrate)
+and converts them to joules at finalisation under a
+:class:`DutyCycle`: the listen budget not spent actively receiving is
+priced as idle-listening at the RX draw, and the remaining time as
+sleep at the standby draw (:func:`SimKernel.ledgers`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..energy.power_model import MICA2, PowerModel
+from ..obs import metrics, trace
+from .dissemination import NodeLedger
+from .errors import NetConfigError
+
+
+@dataclass(frozen=True)
+class DutyCycle:
+    """A node's low-power-listening schedule.
+
+    ``listen_fraction`` is the share of wall time the radio spends in
+    the listen state when not transmitting or receiving; the remainder
+    is spent asleep at the CPU standby draw.  The kernel prices the
+    listen budget but does not gate deliveries on it — an LPL preamble
+    long enough to bridge the sleep interval is assumed, which is the
+    standard B-MAC modelling simplification (see docs/SIMULATOR.md).
+    """
+
+    listen_fraction: float = 1.0
+    name: str = "always-on"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.listen_fraction <= 1.0:
+            raise NetConfigError(
+                "listen_fraction",
+                self.listen_fraction,
+                f"duty-cycle listen fraction {self.listen_fraction} "
+                f"out of [0, 1]",
+            )
+
+
+#: The radio never sleeps — every idle second is billed as listening.
+ALWAYS_ON = DutyCycle(1.0, "always-on")
+
+#: 10% low-power listening (B-MAC-style default check interval).
+LPL_10 = DutyCycle(0.10, "lpl-10")
+
+#: 1% low-power listening — the long-deployment setting the kernel
+#: protocols default to.
+LPL_1 = DutyCycle(0.01, "lpl-1")
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled event.
+
+    Cancellation marks the handle; the heap entry stays where it is and
+    is discarded on pop.  This keeps cancellation O(1) and — more
+    importantly — never re-orders the surviving events.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimKernel:
+    """Discrete-event scheduler with per-node radio-time accounting.
+
+    Events are ``(time, seq, node)``-ordered callbacks; ``node`` is a
+    display/ordering hint (ties at one instant are already broken by
+    ``seq``), and handlers run with ``kernel.now`` set to their
+    timestamp.  ``stop()`` ends the run after the current handler
+    returns; pending events stay queued but are never dispatched.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        power: PowerModel = MICA2,
+        duty_cycle: DutyCycle = ALWAYS_ON,
+    ):
+        if node_count < 1:
+            raise NetConfigError(
+                "node_count", node_count,
+                f"kernel needs at least one node, got {node_count}",
+            )
+        self.node_count = node_count
+        self.power = power
+        self.duty_cycle = duty_cycle
+        self.now = 0.0
+        self.events_dispatched = 0
+        self._seq = 0
+        self._heap: list = []
+        self._stopped = False
+        self.tx_s = [0.0] * node_count
+        self.rx_s = [0.0] * node_count
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(
+        self, delay: float, node: int, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Run ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise NetConfigError(
+                "delay", delay, f"cannot schedule {delay}s into the past"
+            )
+        return self.schedule_at(self.now + delay, node, callback)
+
+    def schedule_at(
+        self, time_s: float, node: int, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Run ``callback`` at absolute time ``time_s`` (``>= now``)."""
+        if time_s < self.now:
+            raise NetConfigError(
+                "time_s", time_s,
+                f"cannot schedule at {time_s}s, already at {self.now}s",
+            )
+        handle = EventHandle()
+        self._seq += 1
+        heapq.heappush(self._heap, (time_s, self._seq, node, handle, callback))
+        return handle
+
+    def stop(self) -> None:
+        """End the run after the current handler returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Events still queued (cancelled entries included)."""
+        return len(self._heap)
+
+    # -- the run loop ---------------------------------------------------
+
+    def run(self, max_time: Optional[float] = None) -> float:
+        """Dispatch events in ``(time, seq, node)`` order until the
+        queue drains, :meth:`stop` is called, or ``max_time`` would be
+        exceeded (the clock then rests *at* ``max_time``).  Returns the
+        final simulation time."""
+        dispatched = 0
+        with trace.span(
+            "net.kernel.run", nodes=self.node_count, queued=len(self._heap)
+        ):
+            heap = self._heap
+            while heap and not self._stopped:
+                time_s, _seq, _node, handle, callback = heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                if max_time is not None and time_s > max_time:
+                    self.now = max_time
+                    break
+                self.now = time_s
+                dispatched += 1
+                callback()
+        self.events_dispatched += dispatched
+        metrics.counter("net.kernel.events").inc(dispatched)
+        return self.now
+
+    # -- radio-time accounting ------------------------------------------
+
+    def account_tx(self, node: int, bits: int) -> None:
+        """Accrue the airtime of transmitting ``bits`` at ``node``."""
+        self.tx_s[node] += bits / self.power.radio_bps
+
+    def account_rx(self, node: int, bits: int) -> None:
+        """Accrue the airtime of receiving ``bits`` at ``node``."""
+        self.rx_s[node] += bits / self.power.radio_bps
+
+    def ledgers(self) -> "dict[int, NodeLedger]":
+        """Per-node energy at the current clock under the duty cycle.
+
+        TX/RX seconds are priced at the radio draws; the listen budget
+        (``elapsed * listen_fraction``) not spent actively receiving
+        becomes idle-listening at the RX draw; everything else is sleep
+        at the CPU standby draw.  CPU (patch) energy is the protocol's
+        to add on top.
+        """
+        elapsed = self.now
+        power = self.power
+        volts = power.voltage_v
+        listen = self.duty_cycle.listen_fraction
+        out = {}
+        for node in range(self.node_count):
+            tx_s = self.tx_s[node]
+            rx_s = self.rx_s[node]
+            idle_s = max(0.0, elapsed * listen - rx_s)
+            sleep_s = max(0.0, elapsed - tx_s - rx_s - idle_s)
+            out[node] = NodeLedger(
+                tx_j=tx_s * power.radio_tx_a * volts,
+                rx_j=rx_s * power.radio_rx_a * volts,
+                idle_j=idle_s * power.radio_rx_a * volts,
+                sleep_j=sleep_s * power.cpu_standby_a * volts,
+            )
+        return out
+
+    def sleep_fraction(self) -> float:
+        """Fleet-average share of elapsed time spent asleep."""
+        if self.now <= 0.0:
+            return 0.0
+        listen = self.duty_cycle.listen_fraction
+        total = 0.0
+        for node in range(self.node_count):
+            tx_s = self.tx_s[node]
+            rx_s = self.rx_s[node]
+            idle_s = max(0.0, self.now * listen - rx_s)
+            total += max(0.0, self.now - tx_s - rx_s - idle_s)
+        return total / (self.node_count * self.now)
+
+
+@dataclass
+class KernelReport:
+    """Structured outcome of one kernel-based dissemination run.
+
+    Duck-types the surface of
+    :class:`~repro.net.campaign.CampaignReport` that
+    :class:`~repro.core.session.CampaignResult`, the CLI, and the fleet
+    service consume (``converged`` / ``outcome`` / ``node_versions`` /
+    ``quarantined`` / energy totals / ``render`` / canonical
+    ``to_json`` + ``digest``), while reporting the event-kernel
+    quantities round-based reports cannot: simulation time, beacon and
+    suppression counts, interval resets, and the fleet sleep fraction.
+    """
+
+    protocol: str
+    outcome: str  # "converged" | "partial"
+    time_s: float
+    rounds: int
+    events: int
+    packets: int
+    script_bytes: int
+    old_version: int
+    new_version: int
+    node_versions: "dict[int, int]"
+    quarantined: "tuple[int, ...]"
+    unreachable: "tuple[int, ...]"
+    ledgers: "dict[int, NodeLedger]"
+    transmissions: int = 0
+    beacons: int = 0
+    requests: int = 0
+    suppressed: int = 0
+    resets: int = 0
+    drops: int = 0
+    crc_rejections: int = 0
+    duplicates: int = 0
+    duty_cycle: str = "always-on"
+    listen_fraction: float = 1.0
+    sleep_fraction: float = 0.0
+    fault_log: "list[str]" = field(default_factory=list)
+    plan_digest: str = ""
+
+    @property
+    def converged(self) -> bool:
+        return self.outcome == "converged"
+
+    @property
+    def converged_nodes(self) -> "tuple[int, ...]":
+        """Non-sink nodes running the new version at run end."""
+        return tuple(
+            node
+            for node, version in sorted(self.node_versions.items())
+            if node != 0 and version == self.new_version
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(ledger.total_j for ledger in self.ledgers.values())
+
+    @property
+    def total_idle_j(self) -> float:
+        """Fleet-wide idle-listening energy — the cost the synchronous
+        round models cannot see."""
+        return sum(ledger.idle_j for ledger in self.ledgers.values())
+
+    def max_node_energy_j(self, exclude_sink: bool = True) -> float:
+        """Energy at the hottest node (the sink is mains-powered and
+        excluded by default)."""
+        candidates = [
+            ledger
+            for node, ledger in self.ledgers.items()
+            if not (exclude_sink and node == 0)
+        ]
+        return max(ledger.total_j for ledger in candidates)
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical across runs with the same
+        topology, seed, parameters, and fault plan (pinned by tests)."""
+        payload = {
+            "protocol": self.protocol,
+            "outcome": self.outcome,
+            "time_s": self.time_s,
+            "rounds": self.rounds,
+            "events": self.events,
+            "packets": self.packets,
+            "script_bytes": self.script_bytes,
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "node_versions": {
+                str(node): version
+                for node, version in sorted(self.node_versions.items())
+            },
+            "quarantined": list(self.quarantined),
+            "unreachable": list(self.unreachable),
+            "transmissions": self.transmissions,
+            "beacons": self.beacons,
+            "requests": self.requests,
+            "suppressed": self.suppressed,
+            "resets": self.resets,
+            "drops": self.drops,
+            "crc_rejections": self.crc_rejections,
+            "duplicates": self.duplicates,
+            "duty_cycle": self.duty_cycle,
+            "listen_fraction": self.listen_fraction,
+            "sleep_fraction": self.sleep_fraction,
+            "fault_log": list(self.fault_log),
+            "plan_digest": self.plan_digest,
+            "ledgers": {
+                str(node): {
+                    "tx_j": ledger.tx_j,
+                    "rx_j": ledger.rx_j,
+                    "cpu_j": ledger.cpu_j,
+                    "idle_j": ledger.idle_j,
+                    "sleep_j": ledger.sleep_j,
+                    "packets_sent": ledger.packets_sent,
+                    "packets_received": ledger.packets_received,
+                }
+                for node, ledger in sorted(self.ledgers.items())
+            },
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        fleet = len(self.node_versions) - 1  # exclude the sink
+        lines = [
+            f"{self.protocol} : {self.outcome} after {self.time_s:.1f}s "
+            f"({len(self.converged_nodes)}/{fleet} nodes on "
+            f"v{self.new_version}, {self.events} events)",
+            f"script   : {self.script_bytes} B in {self.packets} packets",
+            f"radio    : {self.transmissions} data transmissions, "
+            f"{self.beacons} beacons, {self.requests} requests, "
+            f"{self.suppressed} suppressed, "
+            f"{self.resets} interval resets, {self.drops} drops, "
+            f"{self.crc_rejections} CRC rejections, "
+            f"{self.duplicates} duplicates",
+            f"duty     : {self.duty_cycle} "
+            f"(listen {self.listen_fraction:.0%}, "
+            f"sleep fraction {self.sleep_fraction:.1%})",
+            f"energy   : {self.total_energy_j * 1e3:.2f} mJ network total "
+            f"({self.total_idle_j * 1e3:.2f} mJ idle-listening), "
+            f"hottest node {self.max_node_energy_j() * 1e3:.3f} mJ",
+        ]
+        if self.quarantined:
+            nodes = ", ".join(str(node) for node in self.quarantined)
+            lines.append(f"quarantined: {nodes}")
+        if self.fault_log:
+            lines.append("fault log:")
+            lines.extend(f"  {entry}" for entry in self.fault_log)
+        return "\n".join(lines)
+
+
+def rounds_equivalent(time_s: float, round_s: float) -> int:
+    """Continuous time as a whole number of legacy campaign rounds."""
+    if time_s <= 0.0:
+        return 0
+    return int(math.ceil(time_s / round_s))
+
+
+__all__ = [
+    "ALWAYS_ON",
+    "DutyCycle",
+    "EventHandle",
+    "KernelReport",
+    "LPL_1",
+    "LPL_10",
+    "SimKernel",
+    "rounds_equivalent",
+]

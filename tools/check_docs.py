@@ -44,6 +44,7 @@ DOC_FILES = (
     "ROADMAP.md",
     "CHANGES.md",
     "docs/BENCHMARKS.md",
+    "docs/SIMULATOR.md",
 )
 
 CATALOGUE = "docs/OBSERVABILITY.md"
