@@ -29,17 +29,31 @@ from typing import Optional, Sequence, Union
 from .config import (
     CP_STRATEGIES,
     DA_STRATEGIES,
+    PLAN_STRATEGIES,
     RA_STRATEGIES,
+    CohortPlan,
     CompileConfig,
     FleetJob,
     TopologySpec,
     UpdateConfig,
+    VersionGraphConfig,
+    VersionSpec,
 )
 from .core.compiler import CompiledProgram, Compiler
-from .core.session import CampaignResult, SessionResult, UpdateSession
+from .core.session import (
+    CampaignResult,
+    SessionResult,
+    UpdateSession,
+    VersionedCampaignResult,
+)
 from .core.update import UpdatePlanner, UpdateResult
 from .energy import MICA2, PowerModel
 from .net.campaign import PROTOCOLS, CampaignReport
+from .net.coding import (
+    CODING_SCHEMES,
+    CodedTransferParams,
+    run_coded_campaign,
+)
 from .net.errors import DisconnectedTopologyError, DisseminationIncomplete
 from .net.faults import FaultPlan, NodeCrash, PartitionWindow
 from .net.gossip import GossipParams, run_gossip
@@ -55,6 +69,13 @@ from .net.topology import Topology
 from .net.trickle import TrickleParams, run_trickle
 from .service.fleet import FleetResult, FleetUpdateService, JobOutcome
 from .service.fleet import run_batch as _run_batch
+from .versioning import (
+    VersionedCampaignReport,
+    VersionGraph,
+    build_version_graph,
+    plan_cohorts,
+    run_versioned_campaign,
+)
 
 
 def compile_source(
@@ -130,9 +151,12 @@ def run_batch(
 
 __all__ = [
     "ALWAYS_ON",
+    "CODING_SCHEMES",
     "CP_STRATEGIES",
     "CampaignReport",
     "CampaignResult",
+    "CodedTransferParams",
+    "CohortPlan",
     "CompileConfig",
     "CompiledProgram",
     "DA_STRATEGIES",
@@ -149,6 +173,7 @@ __all__ = [
     "LPL_1",
     "LPL_10",
     "NodeCrash",
+    "PLAN_STRATEGIES",
     "PROTOCOLS",
     "PartitionWindow",
     "RA_STRATEGIES",
@@ -160,11 +185,20 @@ __all__ = [
     "UpdatePlanner",
     "UpdateResult",
     "UpdateSession",
+    "VersionGraph",
+    "VersionGraphConfig",
+    "VersionSpec",
+    "VersionedCampaignReport",
+    "VersionedCampaignResult",
+    "build_version_graph",
     "compile_source",
     "make_planner",
     "make_session",
+    "plan_cohorts",
     "plan_update",
     "run_batch",
+    "run_coded_campaign",
     "run_gossip",
     "run_trickle",
+    "run_versioned_campaign",
 ]

@@ -41,6 +41,7 @@ DEFAULT_REPS = {
     "diff": (5, 2),
     "campaign": (3, 1),
     "dissemination": (3, 1),
+    "versioning": (3, 1),
 }
 
 

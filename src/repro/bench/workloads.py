@@ -18,7 +18,13 @@ paper's experiments:
   a 5k-node Trickle convergence (the CI smoke workload), and a flood
   campaign run whose fast path is the kernel driver and whose
   reference path is the legacy round loop — the harness's digest
-  cross-check *is* the kernel-vs-legacy identity certification.
+  cross-check *is* the kernel-vs-legacy identity certification;
+* ``versioning`` — the version-graph planner (``docs/VERSIONING.md``):
+  the pinned lossy 1k-node fleet with cohorts at v3/v5/v6 converging
+  to v7, run once with the planner's plans and once with forced full
+  images (the committed baseline pins the planner's modeled energy
+  advantage), plus the coded-vs-NACK transfer comparison whose
+  baseline pins the fountain code's transmission advantage.
 
 A workload's ``job`` callable returns ``(digest, metrics)``.  The
 digest must be a pure function of the answer (never of wall time), so
@@ -49,7 +55,7 @@ from ..regalloc.ilp_ra import build_spec_for_chunk
 from ..workloads import CASES
 from ..workloads.programs import PROGRAMS
 
-AREAS = ("compile", "ilp", "diff", "campaign", "dissemination")
+AREAS = ("compile", "ilp", "diff", "campaign", "dissemination", "versioning")
 
 #: Metric keys that must be equal between the fast and reference runs
 #: of one workload (on top of the digest, which always must).
@@ -417,6 +423,137 @@ def _dissemination_workloads() -> list[Workload]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# versioning: cohort planner + coded transfer (docs/VERSIONING.md)
+# ---------------------------------------------------------------------------
+
+#: Version labels of the pinned release history (AES-128, the largest
+#: paper workload at ~1.2 kB of image — full images are expensive, the
+#: edits between releases are a handful of bytes).
+VERSIONING_LABELS = (3, 5, 6, 7)
+
+
+def _versioning_releases() -> dict:
+    case = CASES["10"]
+    v3, v5 = case.old_source, case.new_source
+    v6 = v5.replace("u16 blocks_done = 0;", "u16 blocks_done = 1;")
+    v7 = v5.replace("u16 blocks_done = 0;", "u16 blocks_done = 2;").replace(
+        "blocks_done = blocks_done + 1;", "blocks_done = blocks_done + 2;"
+    )
+    return {3: v3, 5: v5, 6: v6, 7: v7}
+
+
+def _cohort_planner_payload():
+    from ..config import CohortPlan, VersionGraphConfig
+    from ..net.topology import random_geometric
+    from ..versioning import build_version_graph, plan_cohorts
+    from ..versioning.planner import predicted_wave_energy_j
+
+    topology = random_geometric(1000, radio_range=0.1, seed=3)
+    graph = build_version_graph(
+        _versioning_releases(), config=VersionGraphConfig(loss=0.15)
+    )
+    fleet = {0: 7}
+    for node in range(1, 1000):
+        fleet[node] = (3, 5, 6)[node % 3]
+    plans = plan_cohorts(graph, fleet)
+    full_plans = tuple(
+        CohortPlan(
+            from_version=plan.from_version,
+            to_version=plan.to_version,
+            nodes=plan.nodes,
+            strategy="full",
+            path=(plan.from_version, plan.to_version),
+            script_bytes=graph.full_edge(
+                plan.from_version, plan.to_version
+            ).script_bytes,
+            predicted_energy_j=predicted_wave_energy_j(
+                graph.full_edge(plan.from_version, plan.to_version).script_bytes,
+                node_count=1000,
+                mean_degree=4.0,
+                config=graph.config,
+            ),
+        )
+        for plan in plans
+    )
+    return topology, graph, plans, full_plans
+
+
+def _cohort_planner_job(payload) -> "tuple[str, dict]":
+    from ..versioning import run_versioned_campaign
+
+    topology, graph, plans, full_plans = payload
+    planned = run_versioned_campaign(graph, plans, topology, loss=0.15, seed=3)
+    full = run_versioned_campaign(graph, full_plans, topology, loss=0.15, seed=3)
+    digest = _sha({"planned": planned.digest(), "full": full.digest()})
+    return digest, {
+        "planned_energy_j": round(planned.total_energy_j, 4),
+        "full_energy_j": round(full.total_energy_j, 4),
+        "energy_ratio": round(full.total_energy_j / planned.total_energy_j, 2),
+        "converged": int(planned.converged and full.converged),
+        "replay_identical": int(planned.replay_identical and full.replay_identical),
+    }
+
+
+def _coded_vs_nack_payload():
+    from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD, Packetisation
+    from ..net.topology import random_geometric
+
+    topology = random_geometric(1000, radio_range=0.1, seed=3)
+    packets = Packetisation(
+        len(DISSEMINATION_BLOB), DEFAULT_PAYLOAD, DEFAULT_OVERHEAD
+    )
+    return topology, packets
+
+
+def _coded_vs_nack_job(payload) -> "tuple[str, dict]":
+    from ..net.coding import CodedTransferParams, run_coded_campaign
+    from ..net.lossy import disseminate_lossy
+
+    topology, packets = payload
+    nack = disseminate_lossy(topology, packets, loss=0.15, seed=3)
+    coded = run_coded_campaign(
+        topology,
+        DISSEMINATION_BLOB,
+        params=CodedTransferParams(burst=16),
+        loss=0.15,
+        seed=3,
+    )
+    digest = _sha(
+        {
+            "nack": {
+                "broadcasts": nack.broadcasts,
+                "nacks": nack.nacks,
+                "rounds": nack.rounds,
+                "complete": nack.complete,
+            },
+            "coded": coded.digest(),
+        }
+    )
+    nack_tx = nack.broadcasts + nack.nacks
+    return digest, {
+        "nack_tx": nack_tx,
+        "coded_tx": coded.broadcasts,
+        "tx_ratio": round(nack_tx / coded.broadcasts, 2),
+        "coded_converged": int(coded.converged),
+    }
+
+
+def _versioning_workloads() -> list[Workload]:
+    return [
+        Workload(
+            name="lossy1k_cohorts",
+            setup=_cohort_planner_payload,
+            job=_cohort_planner_job,
+        ),
+        Workload(
+            name="lossy1k_coded_vs_nack",
+            setup=_coded_vs_nack_payload,
+            job=_coded_vs_nack_job,
+        ),
+    ]
+
+
 def workloads_for(area: str) -> list[Workload]:
     """The pinned workload list of one area."""
     if area == "compile":
@@ -429,4 +566,6 @@ def workloads_for(area: str) -> list[Workload]:
         return _campaign_workloads()
     if area == "dissemination":
         return _dissemination_workloads()
+    if area == "versioning":
+        return _versioning_workloads()
     raise ValueError(f"unknown bench area {area!r}; expected one of {AREAS}")

@@ -41,7 +41,10 @@ Commands
     and the exit status is non-zero when any oracle failed.  With
     ``--faults`` the sweep fuzzes *deployments* instead: random fault
     plans (crashes, partitions, corruption) against the campaign
-    controller's convergence-or-quarantine oracle.
+    controller's convergence-or-quarantine oracle.  ``--versioned``
+    fuzzes version-heterogeneous fleets: random release histories and
+    per-node version assignments through the version-graph planner,
+    with the replay-identity oracle on every cohort.
 
 ``campaign OLD NEW`` / ``campaign --case ID``
     Drive one fault-tolerant OTA campaign
@@ -408,29 +411,143 @@ def cmd_campaign(args) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
+    from_version = args.from_version
+    to_version = (
+        args.to_version if args.to_version is not None else from_version + 1
+    )
+    if to_version <= from_version:
+        print(f"--to-version {to_version} must exceed --from-version "
+              f"{from_version}", file=sys.stderr)
+        return 2
+    coding = _coding_params(args.coding)
+    if coding is not None and not _coding_fits_protocol(
+        coding, args.protocol
+    ):
+        print(f"--coding {args.coding} does not fit --protocol "
+              f"{args.protocol} (lt rides flood, xor rides "
+              f"trickle/gossip)", file=sys.stderr)
+        return 2
+
     compile_config = _compile_config(args, args.baseline_ra)
     old = Compiler(compile_config.to_options()).compile(old_source)
     session = UpdateSession(
         old, topology=topology, loss=args.loss, loss_seed=args.seed,
-        config=_update_config(args),
+        config=_update_config(args), version=from_version,
     )
     result = session.push_campaign(
-        new_source, plan=plan, max_rounds=args.rounds,
-        protocol=args.protocol,
+        {to_version: new_source}, plan=plan, max_rounds=args.rounds,
+        protocol=args.protocol, coding=coding,
     )
     print(f"campaign {label} (ra={args.ra} da={args.da}, "
           f"{topology.node_count} nodes, loss={args.loss:g}, "
-          f"protocol={args.protocol})")
+          f"protocol={args.protocol}, v{from_version} -> v{to_version}"
+          + (f", coding={args.coding}" if coding is not None else "")
+          + ")")
     print(f"faults   : {plan.describe()}")
     print(result.report.render())
     return 0 if result.converged else 1
 
 
+def _coding_params(name: str):
+    """Map the --coding flag to CodedTransferParams (None for 'none')."""
+    if name == "none":
+        return None
+    from .net.coding import CodedTransferParams
+
+    return CodedTransferParams(scheme=name)
+
+
+def _coding_fits_protocol(coding, protocol: str) -> bool:
+    return (coding.scheme == "lt") == (protocol == "flood")
+
+
+def cmd_plan_versions(args) -> int:
+    from .config import VersionGraphConfig
+    from .net.topology import grid
+    from .versioning import build_version_graph, plan_cohorts
+    from .versioning.planner import predicted_wave_energy_j
+
+    if len(args.sources) < 2:
+        print("plan-versions needs at least two release sources",
+              file=sys.stderr)
+        return 2
+    if args.versions:
+        try:
+            labels = [int(v) for v in args.versions.split(",")]
+        except ValueError:
+            print(f"bad --versions {args.versions!r} (want e.g. 3,5,7)",
+                  file=sys.stderr)
+            return 2
+        if len(labels) != len(args.sources) or labels != sorted(set(labels)):
+            print("--versions must list one strictly-increasing label per "
+                  "source", file=sys.stderr)
+            return 2
+    else:
+        labels = list(range(1, len(args.sources) + 1))
+    releases = {
+        label: _read(path) for label, path in zip(labels, args.sources)
+    }
+
+    topology = grid(args.grid, args.grid)
+    target = labels[-1]
+    fleet = {node: target for node in range(topology.node_count)}
+    if args.cohorts:
+        try:
+            cursor = 1  # node 0 is the sink
+            for part in args.cohorts.split(","):
+                version_text, count_text = part.split(":")
+                version, count = int(version_text), int(count_text)
+                for node in range(cursor, cursor + count):
+                    fleet[node] = version
+                cursor += count
+        except (ValueError, KeyError):
+            print(f"bad --cohorts {args.cohorts!r} (want v:count,...)",
+                  file=sys.stderr)
+            return 2
+        if cursor > topology.node_count:
+            print(f"--cohorts places {cursor - 1} nodes but the grid holds "
+                  f"{topology.node_count - 1} sensors", file=sys.stderr)
+            return 2
+    else:
+        for node in range(1, topology.node_count):
+            fleet[node] = labels[0]
+
+    config = VersionGraphConfig(loss=args.loss)
+    graph = build_version_graph(releases, config=config)
+    plans = plan_cohorts(graph, fleet, target)
+    print(f"version graph {'-'.join(f'v{v}' for v in labels)} "
+          f"-> v{target} over {topology.node_count} nodes "
+          f"(loss={args.loss:g})")
+    if not plans:
+        print("fleet already at the target; nothing to plan")
+        return 0
+    total = 0.0
+    total_full = 0.0
+    for plan in plans:
+        arrow = "->".join(f"v{v}" for v in plan.path)
+        full = graph.full_edge(plan.from_version, plan.to_version)
+        full_energy = predicted_wave_energy_j(
+            full.script_bytes, node_count=topology.node_count,
+            mean_degree=4.0, config=graph.config,
+        )
+        total += plan.predicted_energy_j
+        total_full += full_energy
+        print(f"  cohort v{plan.from_version} ({len(plan.nodes)} nodes): "
+              f"{plan.strategy} {arrow}, {plan.script_bytes} B, "
+              f"predicted {plan.predicted_energy_j:.4f} J "
+              f"(full image would cost {full_energy:.4f} J)")
+    if total > 0.0:
+        print(f"total predicted energy: {total:.4f} J vs "
+              f"{total_full:.4f} J full-image "
+              f"({total_full / total:.2f}x saving)")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from .fuzz import GenConfig, run_fuzz
 
-    if args.faults:
-        from .fuzz import run_fault_fuzz
+    if args.faults or args.versioned:
+        from .fuzz import run_fault_fuzz, run_versioned_fuzz
 
         def on_fault_progress(iteration, outcome):
             if args.quiet:
@@ -438,7 +555,8 @@ def cmd_fuzz(args) -> int:
             if (iteration + 1) % 25 == 0:
                 print(f"... {iteration + 1}/{args.iters} campaigns")
 
-        fault_report = run_fault_fuzz(
+        sweep = run_versioned_fuzz if args.versioned else run_fault_fuzz
+        fault_report = sweep(
             seed=args.seed,
             iters=args.iters,
             intensity=args.intensity,
@@ -598,8 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--faults", action="store_true",
                         help="fuzz fault plans against the campaign "
                              "controller instead of update pairs")
+    p_fuzz.add_argument("--versioned", action="store_true",
+                        help="fuzz version-heterogeneous fleets through "
+                             "the version-graph planner and versioned "
+                             "campaign (docs/VERSIONING.md)")
     p_fuzz.add_argument("--intensity", type=float, default=1.0,
-                        help="fault-plan intensity for --faults (default 1.0)")
+                        help="fault-plan intensity for --faults/"
+                             "--versioned (default 1.0)")
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_campaign = sub.add_parser(
@@ -636,11 +759,39 @@ def build_parser() -> argparse.ArgumentParser:
                             help="per-delivery duplicate probability")
     p_campaign.add_argument("--fault-seed", type=int, default=0,
                             help="fault-plan RNG seed")
+    p_campaign.add_argument("--from-version", type=int, default=0,
+                            help="version label of the deployed image")
+    p_campaign.add_argument("--to-version", type=int, default=None,
+                            help="version label of the release "
+                                 "(default: from-version + 1)")
+    p_campaign.add_argument("--coding", default="none",
+                            choices=("none", "lt", "xor"),
+                            help="coded transfer: 'lt' fountain (flood) "
+                                 "or 'xor' burst parity (trickle/gossip)")
     p_campaign.add_argument("--random-faults", action="store_true",
                             help="generate the fault plan from --fault-seed")
     p_campaign.add_argument("--intensity", type=float, default=1.0,
                             help="generated fault-plan intensity")
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_plan = sub.add_parser(
+        "plan-versions", help="build a version graph over releases and "
+                              "print the cheapest per-cohort update plans"
+    )
+    p_plan.add_argument("sources", nargs="+",
+                        help="ucc-C release files, oldest first")
+    p_plan.add_argument("--versions",
+                        help="comma-separated version labels, one per "
+                             "source (default: 0,1,2,...)")
+    p_plan.add_argument("--cohorts",
+                        metavar="V:COUNT[,V:COUNT...]",
+                        help="fleet composition by deployed version "
+                             "(default: every sensor at the oldest)")
+    p_plan.add_argument("--grid", type=int, default=6,
+                        help="dissemination grid side (NxN nodes)")
+    p_plan.add_argument("--loss", type=float, default=0.0,
+                        help="per-link loss probability in the cost model")
+    p_plan.set_defaults(func=cmd_plan_versions)
 
     p_profile = sub.add_parser(
         "profile", help="trace one end-to-end update and print a "

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 from ..config import UpdateConfig, merge_legacy_strategy
 from ..diff.patcher import patched_words
@@ -29,8 +30,13 @@ from ..net.lossy import disseminate_lossy
 from ..net.topology import Topology, grid
 from ..obs import trace
 from .compiler import CompiledProgram
-from .errors import EmptyFleetError, PatchDivergenceError
+from .errors import EmptyFleetError, PatchDivergenceError, PlanStateError
 from .update import UpdatePlanner, UpdateResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..config import CohortPlan
+    from ..net.coding import CodedTransferParams
+    from ..versioning import VersionedCampaignReport, VersionGraph
 
 
 @dataclass
@@ -78,6 +84,30 @@ class CampaignResult:
         return self.report.total_energy_j
 
 
+@dataclass
+class VersionedCampaignResult:
+    """Outcome of a multi-cohort, version-graph campaign.
+
+    Returned by :meth:`UpdateSession.push_campaign` when the push
+    spans several releases or a heterogeneous fleet.  Same contract as
+    :class:`CampaignResult`: never an exception path; a partial fleet
+    comes back with the stragglers quarantined per cohort.
+    """
+
+    graph: "VersionGraph"
+    plans: "tuple[CohortPlan, ...]"
+    report: "VersionedCampaignReport"
+    nodes_patched: int
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+    @property
+    def network_energy_j(self) -> float:
+        return self.report.total_energy_j
+
+
 class UpdateSession:
     """Drives OTA updates of one deployed program across a network."""
 
@@ -89,17 +119,24 @@ class UpdateSession:
         loss: float = 0.0,
         loss_seed: int = 1,
         config: UpdateConfig | None = None,
+        version: int = 0,
         **planner_kwargs,
     ):
         """``loss`` switches dissemination to the lossy NACK-repair
         model with that per-link drop probability.
 
         ``config`` carries the planning strategy and knobs for every
-        :meth:`push_update`.  Extra ``**planner_kwargs`` (``k``,
-        ``expected_runs``, ``space_threshold``, ``energy``,
-        ``profile``) are a deprecation shim forwarded to
-        :class:`UpdatePlanner`; pass a config instead.
+        :meth:`push_update`.  ``version`` labels the deployed program
+        (a fleet mid-history starts above 0).  Extra
+        ``**planner_kwargs`` (``k``, ``expected_runs``,
+        ``space_threshold``, ``energy``, ``profile``) are a
+        deprecation shim forwarded to :class:`UpdatePlanner`; pass a
+        config instead.
         """
+        if version < 0:
+            raise PlanStateError(
+                "session", f"version label must be >= 0, got {version}"
+            )
         if planner_kwargs:
             warnings.warn(
                 f"UpdateSession(**planner_kwargs) is deprecated "
@@ -122,7 +159,9 @@ class UpdateSession:
         self.config = config if config is not None else UpdateConfig()
         self.planner_kwargs = planner_kwargs
         #: fleet-wide version counter advanced by successful pushes
-        self.version = 0
+        self.version = version
+        #: compiled program of every version this session has deployed
+        self.history: dict[int, CompiledProgram] = {version: deployed}
 
     def push_update(
         self,
@@ -192,81 +231,213 @@ class UpdateSession:
 
         self.deployed = update.new
         self.version += 1
+        self.history[self.version] = self.deployed
         return SessionResult(
             update=update, dissemination=dissemination, nodes_patched=nodes
         )
 
     def push_campaign(
         self,
-        new_source: str,
+        payloads: "Mapping[int, str] | str",
         plan: FaultPlan | None = None,
         config: UpdateConfig | None = None,
         max_rounds: int = 200,
         protocol: str = "flood",
-    ) -> CampaignResult:
-        """Compile one update and drive it to fleet convergence under a
+        coding: "CodedTransferParams | None" = None,
+        fleet_versions: "Mapping[int, int] | None" = None,
+    ) -> "CampaignResult | VersionedCampaignResult":
+        """Drive one or more releases to fleet convergence under a
         fault plan.
 
-        The wire blob (code script + data script) is packetised with
-        per-packet CRCs and disseminated through the campaign
-        controller: nodes stage it crash-consistently,
-        crashed/partitioned nodes retry with bounded backoff, and
-        unrecoverable nodes are quarantined.  Never raises for an
-        unconverged fleet — inspect ``result.report.outcome``.  The
-        session's deployed program (and version counter) advances only
-        when the whole fleet converged, matching what the sink would
-        consider the fleet baseline.
+        ``payloads`` maps version labels to program sources — the
+        canonical shape since the version-graph planner landed.  One
+        entry for the next version (``{session.version + 1: source}``)
+        is the classic single-release campaign: the wire blob (code
+        script + data script) is packetised with per-packet CRCs and
+        disseminated through the campaign controller, and a
+        :class:`CampaignResult` comes back.  Several entries, or a
+        ``fleet_versions`` map placing cohorts at older versions, run
+        the version-graph planner instead: the releases are compiled
+        into a :class:`repro.versioning.VersionGraph`, each stale
+        cohort gets its cheapest plan (chained diffs, merged diff, or
+        full image), and a :class:`VersionedCampaignResult` comes
+        back.  Passing a bare source string is deprecated and emits
+        :class:`DeprecationWarning` (it behaves like the single-entry
+        mapping).
+
+        Never raises for an unconverged fleet — inspect
+        ``result.report.outcome``.  The session's deployed program
+        (and version counter) advances only when the whole fleet
+        converged, matching what the sink would consider the fleet
+        baseline.
 
         ``protocol`` selects the dissemination machinery (``"flood"``,
         ``"trickle"``, or ``"gossip"`` — see
-        :data:`repro.net.campaign.PROTOCOLS`); the kernel protocols
-        return a :class:`~repro.net.kernel.KernelReport` in
-        ``result.report`` with the same consumer surface.
+        :data:`repro.net.campaign.PROTOCOLS`); ``coding`` switches the
+        waves to coded transfer (:class:`repro.net.coding
+        .CodedTransferParams` — the ``"lt"`` fountain with flood, the
+        ``"xor"`` burst parity with the kernel protocols).
         """
+        if isinstance(payloads, str):
+            warnings.warn(
+                "push_campaign(payload=...) with a bare source string is "
+                "deprecated; pass a version-keyed mapping "
+                "{session.version + 1: source} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            payloads = {self.version + 1: payloads}
+        releases = {int(v): source for v, source in payloads.items()}
+        if not releases:
+            raise PlanStateError(
+                "push_campaign", "payloads mapping is empty — nothing to push"
+            )
+        for version in releases:
+            if version <= self.version:
+                raise PlanStateError(
+                    "push_campaign",
+                    f"release v{version} is not ahead of the deployed "
+                    f"v{self.version}",
+                )
         cfg = config if config is not None else self.config
+        single = (
+            len(releases) == 1
+            and fleet_versions is None
+            and next(iter(releases)) == self.version + 1
+        )
         with trace.span(
             "session.push_campaign",
             ra=cfg.ra,
             da=cfg.da,
             loss=self.loss,
+            target=max(releases),
+            releases=len(releases),
             faults=(plan or FaultPlan()).describe(),
         ):
-            planner = UpdatePlanner(
-                self.deployed, config=cfg, **self.planner_kwargs
-            )
-            update = planner.plan(new_source)
-
-            # Sink-side check that the script reconstructs the new image
-            # — the same verification each committed node's staged bank
-            # has passed packet-by-packet before its boot-pointer flip.
-            rebuilt = patched_words(self.deployed.image, update.diff.script)
-            if rebuilt != update.new.image.words():
-                raise PatchDivergenceError(
-                    "session", "sensor-side patch diverged from sink binary"
+            if single:
+                return self._push_single_campaign(
+                    releases[self.version + 1], plan, cfg, max_rounds,
+                    protocol, coding,
                 )
+            return self._push_versioned_campaign(
+                releases, plan, cfg, max_rounds, protocol, coding,
+                fleet_versions,
+            )
 
-            blob = (
-                update.diff.script.to_bytes() + update.data_script.to_bytes()
+    def _push_single_campaign(
+        self,
+        new_source: str,
+        plan: FaultPlan | None,
+        cfg: UpdateConfig,
+        max_rounds: int,
+        protocol: str,
+        coding: "CodedTransferParams | None",
+    ) -> CampaignResult:
+        planner = UpdatePlanner(
+            self.deployed, config=cfg, **self.planner_kwargs
+        )
+        update = planner.plan(new_source)
+
+        # Sink-side check that the script reconstructs the new image
+        # — the same verification each committed node's staged bank
+        # has passed packet-by-packet before its boot-pointer flip.
+        rebuilt = patched_words(self.deployed.image, update.diff.script)
+        if rebuilt != update.new.image.words():
+            raise PatchDivergenceError(
+                "session", "sensor-side patch diverged from sink binary"
             )
-            report = run_campaign(
-                self.topology,
-                blob,
-                plan,
-                loss=self.loss,
-                seed=self.loss_seed,
-                power=self.power,
-                max_rounds=max_rounds,
-                payload_per_packet=update.packets.payload_per_packet,
-                overhead_per_packet=update.packets.overhead_per_packet,
-                old_version=self.version,
-                new_version=self.version + 1,
-                protocol=protocol,
-            )
-            if report.converged:
-                self.deployed = update.new
-                self.version += 1
-            return CampaignResult(
-                update=update,
-                report=report,
-                nodes_patched=len(report.converged_nodes),
-            )
+
+        blob = (
+            update.diff.script.to_bytes() + update.data_script.to_bytes()
+        )
+        report = run_campaign(
+            self.topology,
+            blob,
+            plan,
+            loss=self.loss,
+            seed=self.loss_seed,
+            power=self.power,
+            max_rounds=max_rounds,
+            payload_per_packet=update.packets.payload_per_packet,
+            overhead_per_packet=update.packets.overhead_per_packet,
+            old_version=self.version,
+            new_version=self.version + 1,
+            protocol=protocol,
+            coding=coding,
+        )
+        if report.converged:
+            self.deployed = update.new
+            self.version += 1
+            self.history[self.version] = self.deployed
+        return CampaignResult(
+            update=update,
+            report=report,
+            nodes_patched=len(report.converged_nodes),
+        )
+
+    def _push_versioned_campaign(
+        self,
+        releases: "dict[int, str]",
+        plan: FaultPlan | None,
+        cfg: UpdateConfig,
+        max_rounds: int,
+        protocol: str,
+        coding: "CodedTransferParams | None",
+        fleet_versions: "Mapping[int, int] | None",
+    ) -> "VersionedCampaignResult":
+        from ..versioning import (
+            build_version_graph,
+            plan_cohorts,
+            run_versioned_campaign,
+        )
+
+        target = max(releases)
+        fleet = (
+            {int(n): int(v) for n, v in fleet_versions.items()}
+            if fleet_versions is not None
+            else {
+                node: self.version
+                for node in range(self.topology.node_count)
+            }
+        )
+        fleet.setdefault(0, target)
+        # Anchor the graph on every historical version the fleet still
+        # advertises (plus the deployed baseline) so stragglers several
+        # releases behind can be diffed against their canonical images.
+        anchors = {self.version: self.deployed}
+        for version in set(fleet.values()):
+            if version < self.version and version in self.history:
+                anchors[version] = self.history[version]
+        graph = build_version_graph(
+            releases,
+            update_config=cfg,
+            base=anchors,
+        )
+        plans = plan_cohorts(graph, fleet, target)
+        report = run_versioned_campaign(
+            graph,
+            plans,
+            self.topology,
+            loss=self.loss,
+            seed=self.loss_seed,
+            power=self.power,
+            protocol=protocol,
+            coding=coding,
+            fault_plan=plan,
+            max_rounds=max_rounds,
+        )
+        patched = sum(
+            len(c.plan.nodes) - len(c.quarantined) for c in report.cohorts
+        )
+        if report.converged:
+            for version, program in graph.programs.items():
+                if version > self.version:
+                    self.history[version] = program
+            self.deployed = graph.programs[target]
+            self.version = target
+        return VersionedCampaignResult(
+            graph=graph,
+            plans=plans,
+            report=report,
+            nodes_patched=patched,
+        )

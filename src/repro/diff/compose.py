@@ -1,0 +1,156 @@
+"""Diff-of-diffs: compose two edit scripts into one merged script.
+
+Difference Based Content Networking observes that a version chain
+v3→v4→…→v7 can be collapsed into one direct script without access to
+the intermediate images: the edit scripts themselves compose.  This
+module implements that composition for the paper's four-primitive
+script format (:mod:`repro.diff.edit_script`).
+
+``compose_scripts(a, b)`` returns a script ``c`` such that::
+
+    apply(old, c) == apply(apply(old, a), b)
+
+for every ``old`` that ``a`` applies to — pinned by the diff-layer
+property tests and the versioning replay-identity oracle.  The
+composition works on the *unit streams*: ``a`` is interpreted
+symbolically so every unit of the intermediate image is known to be
+either a copy of an old unit (tracked by index) or a literal inserted
+by ``a``; ``b`` is then replayed over that symbolic stream, and runs of
+adjacent old-image copies are re-emitted as ``copy`` primitives while
+everything else becomes ``insert``/``replace`` payload.
+
+The composed script is correct but not necessarily minimal — a literal
+that happens to equal an old unit stays a literal.  The version-graph
+planner therefore prefers a *direct* diff of the endpoint images when
+it has them (``VersionGraphConfig.merged_from = "direct"``) and falls
+back to composition when only the chain artifacts exist
+(``"composed"``).
+"""
+
+from __future__ import annotations
+
+from .edit_script import EditScript, PrimOp
+
+
+def _symbolic_apply(script: EditScript, old_len: int) -> list["int | tuple"]:
+    """Apply ``script`` to a symbolic old image of ``old_len`` units.
+
+    Returns the intermediate image as a list whose entries are either an
+    ``int`` (index of the old unit copied through) or a ``tuple`` of
+    words (a literal unit carried by the script).
+    """
+    out: list[int | tuple] = []
+    cursor = 0
+    for prim in script.primitives:
+        if prim.op is PrimOp.COPY:
+            out.extend(range(cursor, cursor + prim.count))
+            cursor += prim.count
+        elif prim.op is PrimOp.REMOVE:
+            cursor += prim.count
+        elif prim.op is PrimOp.INSERT:
+            out.extend(prim.words)
+        else:  # REPLACE
+            cursor += prim.count
+            out.extend(prim.words)
+    if cursor != old_len:
+        raise ValueError(
+            f"script consumed {cursor} of {old_len} old units; cannot compose"
+        )
+    return out
+
+
+def consumed_units(script: EditScript) -> int:
+    """Old-image units the script consumes (its required old length)."""
+    return sum(
+        p.count
+        for p in script.primitives
+        if p.op in (PrimOp.COPY, PrimOp.REMOVE, PrimOp.REPLACE)
+    )
+
+
+def compose_scripts(a: EditScript, b: EditScript) -> EditScript:
+    """The single script equivalent to applying ``a`` then ``b``.
+
+    ``a`` must produce exactly the image ``b`` consumes (their unit
+    counts are checked); the result applies directly to ``a``'s old
+    image.
+    """
+    old_len = consumed_units(a)
+    mid = _symbolic_apply(a, old_len)
+    if consumed_units(b) != len(mid):
+        raise ValueError(
+            f"cannot compose: first script produces {len(mid)} units but "
+            f"second consumes {consumed_units(b)}"
+        )
+
+    final: list[int | tuple] = []
+    cursor = 0
+    for prim in b.primitives:
+        if prim.op is PrimOp.COPY:
+            final.extend(mid[cursor : cursor + prim.count])
+            cursor += prim.count
+        elif prim.op is PrimOp.REMOVE:
+            cursor += prim.count
+        elif prim.op is PrimOp.INSERT:
+            final.extend(prim.words)
+        else:  # REPLACE
+            cursor += prim.count
+            final.extend(prim.words)
+
+    # Re-emit the final symbolic stream against the *original* old
+    # image: maximal runs of consecutive old indices become copies
+    # (with the gap before them removed), literals become inserts.
+    out = EditScript()
+    old_cursor = 0
+    index = 0
+    n = len(final)
+    while index < n:
+        entry = final[index]
+        if isinstance(entry, int) and entry >= old_cursor:
+            if entry > old_cursor:
+                out.remove(entry - old_cursor)
+                old_cursor = entry
+            run = 1
+            while (
+                index + run < n
+                and isinstance(final[index + run], int)
+                and final[index + run] == entry + run
+            ):
+                run += 1
+            out.copy(run)
+            old_cursor += run
+            index += run
+        else:
+            # A literal, or an old unit that appears out of order
+            # (duplicated/reordered by the chain): ship its words.  Out
+            # of order copies cannot be expressed by the forward-only
+            # primitive set, so they are rare literals here; their words
+            # are not recoverable from the index alone, which is why
+            # _symbolic_apply keeps literal tuples and indices distinct.
+            if isinstance(entry, int):
+                raise ValueError(
+                    f"cannot compose: second script re-copies an old unit "
+                    f"out of order (index {entry}); recompute a direct diff"
+                )
+            group = [entry]
+            index += 1
+            while index < n and not isinstance(final[index], int):
+                group.append(final[index])
+                index += 1
+            out.insert(group)
+    if old_cursor < old_len:
+        out.remove(old_len - old_cursor)
+    return out
+
+
+def compose_chain(scripts: "list[EditScript]") -> EditScript:
+    """Left-fold :func:`compose_scripts` over a chain of step scripts."""
+    if not scripts:
+        raise ValueError("cannot compose an empty chain")
+    merged = scripts[0]
+    for script in scripts[1:]:
+        merged = compose_scripts(merged, script)
+    return merged
+
+
+__all__ = ["compose_chain", "compose_scripts", "consumed_units"]

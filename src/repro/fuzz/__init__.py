@@ -13,7 +13,12 @@ reproducers and persisted to a corpus (:mod:`.shrinker`); the
 CI.
 """
 
-from .fault_fuzz import FaultFinding, FaultFuzzReport, run_fault_fuzz
+from .fault_fuzz import (
+    FaultFinding,
+    FaultFuzzReport,
+    run_fault_fuzz,
+    run_versioned_fuzz,
+)
 from .mutator import Edit, EditNotApplicable, Mutator, apply_edits, mutate
 from .oracles import OracleFailure, PairVerdict, check_pair
 from .progen import GenConfig, GenProgram, ProgramGenerator, generate_program
@@ -41,5 +46,6 @@ __all__ = [
     "persist_case",
     "run_fault_fuzz",
     "run_fuzz",
+    "run_versioned_fuzz",
     "shrink",
 ]

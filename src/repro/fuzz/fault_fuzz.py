@@ -7,6 +7,18 @@ the *deployment* — a random topology, link loss, and a randomly drawn
 corruption, duplicates) — and drives a real compiled update through
 :func:`~repro.net.campaign.run_campaign`.
 
+:func:`run_versioned_fuzz` adds a third dimension on top: a random
+*release history* (a generated program mutated into a short chain of
+versions) and a **version-heterogeneous fleet** — every sensor node
+starts at a randomly drawn release — planned through the version
+graph (:mod:`repro.versioning`) and driven to convergence cohort by
+cohort, optionally over the LT-coded transfer.  The oracle battery is
+the versioned analogue of convergence-or-quarantine: every cohort
+terminates, quarantined nodes stay within their cohort, every planned
+path rebuilds the byte-identical target image (the replay-identity
+oracle), a fault-free connected fleet must fully converge, and the
+identical seed replays to a byte-identical report.
+
 The oracle is **convergence-or-quarantine**: whatever the faults, the
 campaign must terminate with a structured report in which every
 non-quarantined node runs the fully verified new version, every
@@ -45,6 +57,9 @@ PAIR_EVERY = 10
 
 #: Campaign round budget per fuzz iteration.
 FUZZ_MAX_ROUNDS = 120
+
+#: Releases per generated version history in the versioned sweep.
+VERSIONED_RELEASES = 4
 
 
 @dataclass
@@ -290,10 +305,171 @@ def run_fault_fuzz(
     return report
 
 
+def _build_version_history(rng: random.Random, config: UpdateConfig):
+    """A generated release chain compiled into a version graph.
+
+    The base program comes from the fuzzer's generator; each later
+    release is a semantic mutation of its predecessor, so the chain's
+    step edges are real update-conscious plans over real edits.
+    """
+    from ..versioning import build_version_graph
+    from .mutator import mutate
+    from .progen import generate_program
+
+    program = generate_program(rng)
+    releases = {1: program.render()}
+    current = program
+    for label in range(2, VERSIONED_RELEASES + 1):
+        current, _edits = mutate(current, rng, rng.randrange(1, 3))
+        releases[label] = current.render()
+    return build_version_graph(releases, update_config=config)
+
+
+def _check_versioned_report(report, replay, plan: FaultPlan, plans) -> list:
+    """Convergence-or-quarantine, versioned edition."""
+    messages = []
+    if report.outcome not in ("converged", "partial"):
+        messages.append(f"unknown outcome {report.outcome!r}")
+    if not report.replay_identical:
+        messages.append(
+            "replay-identity violated: a cohort's path rebuilt an image "
+            f"other than the canonical v{report.target_version}"
+        )
+    for cohort in report.cohorts:
+        if cohort.outcome not in ("converged", "partial"):
+            messages.append(
+                f"cohort v{cohort.plan.from_version}: unknown outcome "
+                f"{cohort.outcome!r}"
+            )
+        stray = set(cohort.quarantined) - set(cohort.plan.nodes)
+        if stray:
+            messages.append(
+                f"cohort v{cohort.plan.from_version}: quarantined nodes "
+                f"{sorted(stray)} outside the cohort"
+            )
+        if cohort.energy_j < 0.0:
+            messages.append(
+                f"cohort v{cohort.plan.from_version}: negative wave energy"
+            )
+    if plan.is_empty and not report.converged:
+        messages.append(
+            "fault-free versioned campaign over a connected fleet stalled"
+        )
+    if report.to_json() != replay.to_json():
+        messages.append(
+            "replay with the identical seed and plans produced a different "
+            f"report ({report.digest()[:12]} vs {replay.digest()[:12]})"
+        )
+    if len(report.cohorts) != len(plans):
+        messages.append(
+            f"{len(plans)} cohort plans but {len(report.cohorts)} waves ran"
+        )
+    return messages
+
+
+def run_versioned_fuzz(
+    seed: int = 0,
+    iters: int = 50,
+    intensity: float = 1.0,
+    update_config: UpdateConfig | None = None,
+    on_progress=None,
+) -> FaultFuzzReport:
+    """Fuzz version-heterogeneous fleets through the versioned campaign.
+
+    Iterations share one generated release history per
+    :data:`PAIR_EVERY` draws (graphs are expensive, fleets are cheap);
+    each iteration then draws a topology, a per-node version
+    assignment, a fault plan, link loss, and — one draw in three — the
+    LT-coded transfer, and checks the whole run against the versioned
+    convergence-or-quarantine oracle.
+    """
+    from ..net.coding import CodedTransferParams
+    from ..versioning import plan_cohorts, run_versioned_campaign
+
+    config = (
+        update_config if update_config is not None else UpdateConfig()
+    )
+    report = FaultFuzzReport(seed=seed, iterations=iters)
+    hasher = hashlib.sha256()
+    graph = None
+    for iteration in range(iters):
+        with trace.span("fuzz.versioned.iteration", iteration=iteration) as span:
+            rng = random.Random(f"repro-versioned-fuzz:{seed}:{iteration}")
+            if graph is None or iteration % PAIR_EVERY == 0:
+                history_rng = random.Random(
+                    f"repro-versioned-fuzz-history:{seed}:"
+                    f"{iteration // PAIR_EVERY}"
+                )
+                graph = _build_version_history(history_rng, config)
+            shape, topology = _topology(rng)
+            versions = graph.versions
+            fleet = {0: graph.target}
+            for node in range(1, topology.node_count):
+                fleet[node] = versions[rng.randrange(len(versions))]
+            plans = plan_cohorts(graph, fleet)
+            plan = generate_fault_plan(
+                rng,
+                topology.node_count,
+                max_rounds=FUZZ_MAX_ROUNDS,
+                intensity=intensity,
+            )
+            loss = round(rng.uniform(0.0, 0.25), 3)
+            link_seed = rng.randrange(1 << 31)
+            coding = (
+                CodedTransferParams(burst=8)
+                if rng.randrange(3) == 0
+                else None
+            )
+
+            campaign = functools.partial(
+                run_versioned_campaign,
+                graph,
+                plans,
+                topology,
+                loss=loss,
+                seed=link_seed,
+                coding=coding,
+                fault_plan=plan,
+                max_rounds=FUZZ_MAX_ROUNDS,
+            )
+            outcome = campaign()
+            replay = campaign()
+            messages = _check_versioned_report(outcome, replay, plan, plans)
+            span.set(ok=not messages, outcome=outcome.outcome, cohorts=len(plans))
+        metrics.counter("fuzz.versioned.campaigns").inc()
+        if outcome.converged:
+            report.converged += 1
+        else:
+            report.partial += 1
+        report.quarantined_total += sum(
+            len(c.quarantined) for c in outcome.cohorts
+        )
+        report.crashes_injected += len(plan.crashes)
+        report.partitions_injected += len(plan.partitions)
+        hasher.update(plan.digest().encode())
+        hasher.update(outcome.digest().encode())
+        if messages:
+            metrics.counter("fuzz.versioned.findings").inc()
+            report.findings.append(
+                FaultFinding(
+                    iteration=iteration,
+                    plan=plan.describe(),
+                    topology=shape,
+                    messages=messages,
+                )
+            )
+        if on_progress is not None:
+            on_progress(iteration, outcome)
+    report.digest = hasher.hexdigest()
+    return report
+
+
 __all__ = [
     "FUZZ_MAX_ROUNDS",
     "FaultFinding",
     "FaultFuzzReport",
     "PAIR_EVERY",
+    "VERSIONED_RELEASES",
     "run_fault_fuzz",
+    "run_versioned_fuzz",
 ]

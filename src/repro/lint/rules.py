@@ -241,6 +241,10 @@ OBS_ENTRY_POINTS: Tuple[Tuple[str, str, str], ...] = (
     ("repro/net/trickle.py", "run_trickle", "net.trickle.run"),
     ("repro/net/gossip.py", "run_gossip", "net.gossip.run"),
     ("repro/net/faults.py", "generate_fault_plan", "net.fault.plan"),
+    ("repro/net/coding.py", "run_coded_campaign", "net.coding.run"),
+    ("repro/versioning/graph.py", "build_version_graph", "versioning.build"),
+    ("repro/versioning/planner.py", "plan_cohorts", "versioning.plan"),
+    ("repro/versioning/campaign.py", "run_versioned_campaign", "versioning.campaign"),
     ("repro/sim/executor.py", "Simulator.run", "sim.run"),
     ("repro/ilp/solver.py", "solve", "ilp.solve"),
     ("repro/service/fleet.py", "FleetUpdateService.run", "service.batch"),

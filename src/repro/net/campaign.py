@@ -25,6 +25,7 @@ import random
 import zlib
 from dataclasses import dataclass, field
 from functools import partial
+from typing import TYPE_CHECKING
 
 from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
 from ..energy.power_model import MICA2, PowerModel
@@ -37,6 +38,9 @@ from .kernel import SimKernel
 from .lossy import NACK_BYTES
 from .node_state import APPLY_ROUNDS, NodeUpdateState, packetise_blob
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .coding import CodedTransferParams
 
 #: Rounds without any fleet progress (and no scheduled fault event
 #: still to come) after which the controller stops retrying and
@@ -182,6 +186,7 @@ def run_campaign(
     apply_rounds: int = APPLY_ROUNDS,
     stall_limit: int = DEFAULT_STALL_LIMIT,
     protocol: str = "flood",
+    coding: "CodedTransferParams | None" = None,
 ):
     """Disseminate ``blob`` to every reachable node under ``plan``.
 
@@ -209,6 +214,30 @@ def run_campaign(
             f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}",
         )
     plan = plan if plan is not None else FaultPlan()
+    if coding is not None and coding.scheme == "lt":
+        if protocol != "flood":
+            raise NetConfigError(
+                "coding", coding.scheme,
+                "the 'lt' fountain replaces the flood protocol's NACK "
+                "repair; use scheme='xor' with trickle/gossip",
+            )
+        from .coding import run_coded_campaign
+
+        return run_coded_campaign(
+            topology,
+            blob,
+            plan,
+            params=coding,
+            loss=loss,
+            seed=seed,
+            power=power,
+            max_rounds=max_rounds,
+            payload_per_packet=payload_per_packet,
+            overhead_per_packet=overhead_per_packet,
+            old_version=old_version,
+            new_version=new_version,
+            stall_limit=stall_limit,
+        )
     if protocol != "flood":
         from .gossip import run_gossip
         from .trickle import run_trickle
@@ -227,6 +256,13 @@ def run_campaign(
             old_version=old_version,
             new_version=new_version,
             round_s=ROUND_S,
+            coding=coding,
+        )
+    if coding is not None:
+        raise NetConfigError(
+            "coding", coding.scheme,
+            "the 'xor' burst-parity scheme rides the trickle/gossip "
+            "kernel; the flood protocol takes the 'lt' fountain",
         )
     with trace.span(
         "campaign.run",

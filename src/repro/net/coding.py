@@ -1,0 +1,595 @@
+"""Coded transfer: XOR parity batches and a systematic LT fountain.
+
+On a lossy link the flood campaign repairs losses *by name*: a NACK
+advertises the exact missing sequence numbers and the sender
+retransmits those packets, paying one round trip per repair wave.
+Cooperative Coded Data Dissemination (PAPERS.md) replaces that with
+*rateless* repair: the ``k`` script packets form one **generation**,
+senders emit random GF(2) combinations of the generation, and a
+receiver recovers the whole generation from **any** ``k`` linearly
+independent coded packets — about ``k(1+ε)`` receptions — with no
+feedback channel at all.
+
+Two schemes, matched to the two dissemination machineries:
+
+* ``"lt"`` — a systematic Luby-Transform fountain for the flood
+  campaign (:func:`run_coded_campaign`): the first ``k`` coded packets
+  are the source packets themselves (systematic prefix — a loss-free
+  link pays zero overhead), later packets XOR ``d`` source packets
+  with ``d`` drawn from the robust soliton distribution.  Every
+  stream is seeded ``"repro-coding:<seed>:<sender>"`` so the whole
+  campaign is deterministic and replayable.
+* ``"xor"`` — per-burst parity for the event-kernel protocols
+  (Trickle/gossip): every ``group`` data packets of a burst are
+  followed by one XOR parity packet, so a receiver that lost exactly
+  one packet of the group repairs it locally instead of waiting a
+  whole Trickle interval for a fresh ADV/REQ/DATA exchange.
+
+Determinism: coefficient masks are pure functions of the stream seed
+and the packet's sequence number; two runs with the same inputs
+produce byte-identical reports (pinned by tests and the ``versioning``
+bench area).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
+from ..energy.power_model import MICA2, PowerModel
+from ..obs import metrics, trace
+from .dissemination import PATCH_CYCLES_PER_BYTE, NodeLedger
+from .errors import NetConfigError
+from .faults import FaultPlan
+from .node_state import packetise_blob
+from .topology import Topology
+
+#: Legal coding schemes (see module docstring).
+CODING_SCHEMES = ("lt", "xor")
+
+#: Wire bytes of a coded packet's header beyond the payload: the
+#: generation id, the 32-bit stream seed and the sequence number the
+#: receiver re-derives the coefficient mask from.
+CODE_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CodedTransferParams:
+    """Knobs of one coded transfer (frozen, content-addressable).
+
+    ``scheme`` picks the machinery (``"lt"`` for the flood campaign,
+    ``"xor"`` for the kernel protocols); ``overhead`` is the fountain's
+    ε — the fraction of extra coded packets a sender budgets beyond
+    ``k`` per epoch; ``burst`` caps coded packets per broadcast;
+    ``group`` is the XOR parity group size; ``seed`` derives every
+    coefficient stream.
+    """
+
+    scheme: str = "lt"
+    overhead: float = 0.25
+    burst: int = 8
+    group: int = 4
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scheme not in CODING_SCHEMES:
+            raise NetConfigError(
+                "scheme", self.scheme,
+                f"coding scheme must be one of {CODING_SCHEMES}, "
+                f"got {self.scheme!r}",
+            )
+        if not 0.0 <= self.overhead <= 2.0:
+            raise NetConfigError(
+                "overhead", self.overhead,
+                f"coding overhead ε must be in [0, 2], got {self.overhead}",
+            )
+        if self.burst < 1:
+            raise NetConfigError(
+                "burst", self.burst, f"burst must be >= 1, got {self.burst}"
+            )
+        if self.group < 2:
+            raise NetConfigError(
+                "group", self.group,
+                f"XOR parity group must be >= 2, got {self.group}",
+            )
+
+
+def robust_soliton_degree(k: int, rng: random.Random) -> int:
+    """Draw one LT degree from the robust soliton distribution.
+
+    Standard parameterisation (Luby 2002) with c=0.1, delta=0.5; the
+    distribution is built once per stream and sampled by inverse CDF so
+    the draw consumes exactly one ``rng.random()`` — the property the
+    determinism tests pin.
+    """
+    if k <= 1:
+        return 1
+    c, delta = 0.1, 0.5
+    r = c * math.log(k / delta) * math.sqrt(k)
+    spike = max(1, min(k, int(round(k / r)))) if r > 0 else 1
+    rho = [0.0] * (k + 1)
+    rho[1] = 1.0 / k
+    for d in range(2, k + 1):
+        rho[d] = 1.0 / (d * (d - 1))
+    tau = [0.0] * (k + 1)
+    for d in range(1, spike):
+        tau[d] = r / (d * k)
+    tau[spike] = r * math.log(r / delta) / k if r > 1 else 0.0
+    weights = [rho[d] + max(0.0, tau[d]) for d in range(k + 1)]
+    total = sum(weights)
+    u = rng.random() * total
+    acc = 0.0
+    for d in range(1, k + 1):
+        acc += weights[d]
+        if u <= acc:
+            return d
+    return k
+
+
+class LTStream:
+    """Deterministic systematic LT coded-packet stream over ``k`` source
+    packets.
+
+    Packet ``i`` for ``i < k`` is the source packet itself (systematic
+    prefix); later packets carry a random combination.  The coefficient
+    mask of sequence ``i`` is a pure function of ``(label, i)``, so a
+    receiver reconstructs it from the 8-byte header alone.
+    """
+
+    def __init__(self, k: int, label: str):
+        if k < 1:
+            raise NetConfigError("k", k, f"generation needs >= 1 packet, got {k}")
+        self.k = k
+        self.label = label
+
+    def mask_at(self, sequence: int) -> int:
+        if sequence < self.k:
+            return 1 << sequence
+        rng = random.Random(f"repro-lt:{self.label}:{sequence}")
+        degree = robust_soliton_degree(self.k, rng)
+        mask = 0
+        while bin(mask).count("1") < degree:
+            mask |= 1 << rng.randrange(self.k)
+        return mask
+
+    def payload_at(self, sequence: int, padded: "List[bytes]") -> bytes:
+        mask = self.mask_at(sequence)
+        out = bytearray(len(padded[0]))
+        index = 0
+        while mask:
+            if mask & 1:
+                chunk = padded[index]
+                for at in range(len(out)):
+                    out[at] ^= chunk[at]
+            mask >>= 1
+            index += 1
+        return bytes(out)
+
+
+class GenerationDecoder:
+    """Incremental GF(2) decoder for one ``k``-packet generation.
+
+    Receiving a coded packet reduces its coefficient mask against the
+    accumulated basis; an innovative packet raises the rank by one, a
+    dependent one is discarded.  At rank ``k`` the basis is solved by
+    Gauss–Jordan elimination and the original payloads fall out.
+    """
+
+    def __init__(self, k: int):
+        self.k = k
+        #: pivot bit -> (mask, payload) with ``mask``'s lowest set bit
+        #: at the pivot
+        self.rows: Dict[int, Tuple[int, bytearray]] = {}
+
+    @property
+    def rank(self) -> int:
+        return len(self.rows)
+
+    @property
+    def complete(self) -> bool:
+        return self.rank >= self.k
+
+    def add(self, mask: int, payload: bytes) -> bool:
+        """Fold one coded packet in; True when it was innovative."""
+        work = bytearray(payload)
+        while mask:
+            pivot = mask & -mask
+            row = self.rows.get(pivot)
+            if row is None:
+                self.rows[pivot] = (mask, work)
+                return True
+            rmask, rpayload = row
+            mask ^= rmask
+            for at in range(len(work)):
+                work[at] ^= rpayload[at]
+        return False
+
+    def payloads(self) -> "List[bytes]":
+        """The decoded source packets (requires ``complete``)."""
+        if not self.complete:
+            raise NetConfigError(
+                "rank", self.rank,
+                f"generation not decodable: rank {self.rank} < k {self.k}",
+            )
+        masks: Dict[int, int] = {}
+        payloads: Dict[int, bytearray] = {}
+        for pivot, (mask, payload) in self.rows.items():
+            masks[pivot] = mask
+            payloads[pivot] = bytearray(payload)
+        # Back-substitute from the highest pivot down.  By induction the
+        # row being processed is already a unit vector (every higher bit
+        # was eliminated from it in an earlier iteration), so XORing it
+        # into the others clears exactly its pivot bit.
+        for pivot in sorted(masks, reverse=True):
+            source = payloads[pivot]
+            for other in masks:
+                if other != pivot and masks[other] & pivot:
+                    masks[other] ^= pivot
+                    target = payloads[other]
+                    for at in range(len(target)):
+                        target[at] ^= source[at]
+        return [bytes(payloads[1 << index]) for index in range(self.k)]
+
+
+def decode_generation(
+    k: int, blob_len: int, payload_per_packet: int,
+    received: "List[Tuple[int, bytes]]",
+) -> "Optional[bytes]":
+    """Decode a whole blob from ``(mask, payload)`` coded packets.
+
+    Returns the reassembled blob, or ``None`` when the received set has
+    insufficient rank — the primitive the hypothesis property tests
+    drive with arbitrary packet subsets.
+    """
+    decoder = GenerationDecoder(k)
+    for mask, payload in received:
+        decoder.add(mask, payload)
+        if decoder.complete:
+            break
+    if not decoder.complete:
+        return None
+    blob = b"".join(decoder.payloads())
+    return blob[:blob_len]
+
+
+def pad_packets(blob: bytes, payload_per_packet: int) -> "List[bytes]":
+    """The generation's source packets, zero-padded to equal length."""
+    packets = packetise_blob(blob, payload_per_packet)
+    if not packets:
+        return []
+    return [
+        pkt.payload.ljust(payload_per_packet, b"\x00") for pkt in packets
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Coded flood campaign (decode-and-forward fountain)
+# ---------------------------------------------------------------------------
+
+
+def run_coded_campaign(
+    topology: Topology,
+    blob: bytes,
+    plan: "FaultPlan | None" = None,
+    *,
+    params: "CodedTransferParams | None" = None,
+    loss: float = 0.0,
+    seed: int = 1,
+    power: PowerModel = MICA2,
+    max_rounds: int = 200,
+    payload_per_packet: int = DEFAULT_PAYLOAD,
+    overhead_per_packet: int = DEFAULT_OVERHEAD,
+    old_version: int = 0,
+    new_version: int = 1,
+    stall_limit: int = 24,
+):
+    """Disseminate ``blob`` by decode-and-forward fountain coding.
+
+    Round structure: every node that holds the decoded generation (the
+    sink, plus every node that has finished decoding) broadcasts up to
+    ``params.burst`` fresh coded packets from its own deterministic
+    stream while any alive neighbour is still decoding; receivers
+    accumulate rank and commit (boot-pointer flip, CPU patch energy)
+    the round they reach rank ``k``.  No NACKs, no retransmission
+    naming: a lost packet is repaired by *any* later innovative packet.
+
+    Fault plans apply exactly as in the flood campaign — crashes wipe
+    volatile decoder state, partitions sever links, corruption burns a
+    reception (the per-packet CRC rejects it before it reaches the
+    decoder).  Returns a :class:`repro.net.campaign.CampaignReport`
+    with ``broadcasts`` counting coded transmissions.
+    """
+    from .campaign import CampaignReport  # cycle: campaign routes here
+
+    coded = params if params is not None else CodedTransferParams()
+    if coded.scheme != "lt":
+        raise NetConfigError(
+            "scheme", coded.scheme,
+            "run_coded_campaign speaks the generation-level 'lt' scheme; "
+            "the 'xor' burst-parity scheme belongs to the kernel protocols",
+        )
+    if not 0.0 <= loss < 1.0:
+        raise NetConfigError(
+            "loss", loss, f"loss probability {loss} out of [0, 1)"
+        )
+    plan = plan if plan is not None else FaultPlan()
+    with trace.span(
+        "net.coding.run",
+        nodes=topology.node_count,
+        bytes=len(blob),
+        loss=loss,
+    ):
+        report = _run_coded(
+            topology, blob, plan, coded,
+            loss=loss, seed=seed, power=power, max_rounds=max_rounds,
+            payload_per_packet=payload_per_packet,
+            overhead_per_packet=overhead_per_packet,
+            old_version=old_version, new_version=new_version,
+            stall_limit=stall_limit, report_cls=CampaignReport,
+        )
+    metrics.counter("net.coding.runs").inc()
+    metrics.counter("net.coding.transmissions").inc(report.broadcasts)
+    metrics.counter("net.coding.drops").inc(report.drops)
+    metrics.counter("net.coding.energy_j").inc(report.total_energy_j)
+    if report.converged:
+        metrics.counter("net.coding.converged").inc()
+    return report
+
+
+def _run_coded(
+    topology: Topology,
+    blob: bytes,
+    plan: FaultPlan,
+    params: CodedTransferParams,
+    *,
+    loss: float,
+    seed: int,
+    power: PowerModel,
+    max_rounds: int,
+    payload_per_packet: int,
+    overhead_per_packet: int,
+    old_version: int,
+    new_version: int,
+    stall_limit: int,
+    report_cls,
+):
+    node_count = topology.node_count
+    padded = pad_packets(blob, payload_per_packet)
+    k = len(padded)
+    packet_bits = 8 * (payload_per_packet + overhead_per_packet + CODE_HEADER_BYTES)
+    patch_j = PATCH_CYCLES_PER_BYTE * len(blob) * power.cycle_energy_j
+
+    rng_link = random.Random(f"repro-coding-link:{seed}")
+    rng_fault = random.Random(f"repro-coding-fault:{plan.seed}")
+
+    hops = topology.hops_from_sink()
+    unreachable = tuple(
+        sorted(node for node in range(node_count) if node not in hops)
+    )
+
+    streams = [
+        LTStream(max(k, 1), f"repro-coding:{params.seed}:{sender}")
+        for sender in range(node_count)
+    ]
+    next_seq = [0] * node_count
+    decoders: "List[Optional[GenerationDecoder]]" = [
+        GenerationDecoder(k) if k else None for _ in range(node_count)
+    ]
+    committed = [False] * node_count
+    alive = [True] * node_count
+    committed[0] = True
+    if k == 0:
+        for node in range(1, node_count):
+            if node not in unreachable:
+                committed[node] = True
+
+    ledgers = {node: NodeLedger() for node in range(node_count)}
+    fault_log: "List[str]" = []
+    broadcasts = 0
+    drops = 0
+    crc_rejections = 0
+    duplicates = 0  # dependent (non-innovative) receptions
+    rounds = 0
+    last_progress = 0
+
+    crashes_by_round: "Dict[int, list]" = {}
+    reboots_by_round: "Dict[int, list]" = {}
+    event_rounds: "set[int]" = set()
+    for crash in plan.crashes:
+        if crash.node >= node_count:
+            continue
+        crashes_by_round.setdefault(crash.round, []).append(crash)
+        if crash.round <= max_rounds:
+            event_rounds.add(crash.round)
+        if crash.reboot_round is not None:
+            reboots_by_round.setdefault(crash.reboot_round, []).append(crash)
+            if crash.reboot_round <= max_rounds:
+                event_rounds.add(crash.reboot_round)
+    for window in plan.partitions:
+        if window.start <= max_rounds:
+            event_rounds.add(window.start)
+        if window.end <= max_rounds:
+            event_rounds.add(window.end)
+
+    def link_up(a: int, b: int) -> bool:
+        return not any(w.severs(a, b, rounds) for w in plan.partitions)
+
+    def pending() -> "List[int]":
+        out = []
+        for node in range(1, node_count):
+            if node in unreachable or committed[node]:
+                continue
+            if alive[node]:
+                out.append(node)
+            elif any(
+                crash.node == node and crash.reboot_round is not None
+                and crash.reboot_round > rounds
+                for crash in plan.crashes
+            ):
+                out.append(node)
+        return out
+
+    while rounds < max_rounds:
+        if not pending():
+            break
+        if rounds - last_progress >= stall_limit and not any(
+            event > rounds for event in event_rounds
+        ):
+            break
+        rounds += 1
+
+        for crash in crashes_by_round.get(rounds, ()):
+            node = crash.node
+            if not alive[node]:
+                continue
+            alive[node] = False
+            metrics.counter("net.fault.crashes").inc()
+            detail = "after commit" if committed[node] else "decoder state lost"
+            fault_log.append(f"r{rounds}: node {node} crashed ({detail})")
+            if not committed[node]:
+                decoders[node] = GenerationDecoder(k) if k else None
+        for crash in reboots_by_round.get(rounds, ()):
+            node = crash.node
+            if alive[node]:
+                continue
+            alive[node] = True
+            metrics.counter("net.fault.reboots").inc()
+            image = "new image" if committed[node] else "golden image"
+            version = new_version if committed[node] else old_version
+            fault_log.append(
+                f"r{rounds}: node {node} rebooted ({image} v{version})"
+            )
+        for window in plan.partitions:
+            island = ",".join(str(n) for n in window.nodes)
+            if window.start == rounds:
+                metrics.counter("net.fault.partitions").inc()
+                fault_log.append(f"r{rounds}: partition {{{island}}} isolated")
+            if window.end == rounds:
+                fault_log.append(f"r{rounds}: partition {{{island}}} healed")
+
+        # -- broadcast phase: elected servers fountain to needy peers --
+        # Each needy node elects its lowest-indexed decoded neighbour as
+        # its server (receivers advertise their rank deficit, the
+        # election is implicit in who they listen to); a server's burst
+        # covers every needy peer in range at once — the coded
+        # multicast gain, since every coded packet is innovative to
+        # every receiver regardless of *which* packets each one lost.
+        servers: "Dict[int, int]" = {}
+        for node in range(1, node_count):
+            if committed[node] or not alive[node] or node in unreachable:
+                continue
+            candidates = [
+                peer
+                for peer in topology.neighbors.get(node, ())
+                if committed[peer] and alive[peer] and link_up(node, peer)
+            ]
+            if candidates:
+                chosen = min(candidates)
+                deficit = k - decoders[node].rank if decoders[node] else 0
+                servers[chosen] = max(servers.get(chosen, 0), deficit)
+        for sender in sorted(servers):
+            needy = [
+                peer
+                for peer in topology.neighbors.get(sender, ())
+                if alive[peer] and not committed[peer] and link_up(sender, peer)
+            ]
+            if not needy:
+                continue
+            # Send just enough for the worst-off elector to finish in
+            # expectation, capped by the burst budget.
+            deficit = servers[sender]
+            shots = min(
+                params.burst,
+                max(1, math.ceil(deficit / (1.0 - loss))),
+            )
+            for _ in range(shots):
+                sequence = next_seq[sender]
+                next_seq[sender] += 1
+                mask = streams[sender].mask_at(sequence)
+                payload = streams[sender].payload_at(sequence, padded)
+                broadcasts += 1
+                ledgers[sender].tx_j += packet_bits * power.tx_bit_energy_j
+                ledgers[sender].packets_sent += 1
+                for peer in needy:
+                    ledgers[peer].rx_j += packet_bits * power.rx_bit_energy_j
+                    if rng_link.random() < loss:
+                        drops += 1
+                        continue
+                    if (
+                        plan.corrupt_prob
+                        and rng_fault.random() < plan.corrupt_prob
+                    ):
+                        # The flipped byte fails the packet CRC before
+                        # the mask ever reaches the decoder.
+                        crc_rejections += 1
+                        continue
+                    decoder = decoders[peer]
+                    if decoder is None or decoder.complete:
+                        duplicates += 1
+                        continue
+                    if decoder.add(mask, payload):
+                        ledgers[peer].packets_received += 1
+                        last_progress = rounds
+                    else:
+                        duplicates += 1
+
+        # -- commit phase: rank-k nodes verify, patch, and flip --------
+        for node in range(1, node_count):
+            if committed[node] or not alive[node]:
+                continue
+            decoder = decoders[node]
+            if decoder is not None and decoder.complete:
+                rebuilt = b"".join(decoder.payloads())[: len(blob)]
+                if rebuilt != blob:
+                    # Unreachable with per-packet CRCs; never commit an
+                    # unverified generation.
+                    decoders[node] = GenerationDecoder(k)
+                    continue
+                ledgers[node].cpu_j += patch_j
+                committed[node] = True
+                last_progress = rounds
+
+    quarantined = tuple(
+        sorted(
+            node for node in range(1, node_count) if not committed[node]
+        )
+    )
+    return report_cls(
+        outcome="converged" if not quarantined else "partial",
+        rounds=rounds,
+        packets=k,
+        script_bytes=len(blob),
+        old_version=old_version,
+        new_version=new_version,
+        node_versions={
+            node: new_version if committed[node] else old_version
+            for node in range(node_count)
+        },
+        quarantined=quarantined,
+        unreachable=unreachable,
+        ledgers=ledgers,
+        broadcasts=broadcasts,
+        retransmissions=0,
+        nacks=0,
+        drops=drops,
+        crc_rejections=crc_rejections,
+        duplicates=duplicates,
+        fault_log=fault_log,
+        plan_digest=plan.digest(),
+    )
+
+
+__all__ = [
+    "CODE_HEADER_BYTES",
+    "CODING_SCHEMES",
+    "CodedTransferParams",
+    "GenerationDecoder",
+    "LTStream",
+    "decode_generation",
+    "pad_packets",
+    "robust_soliton_degree",
+    "run_coded_campaign",
+]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from functools import partial
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..energy.power_model import PowerModel
 from ..obs import metrics
@@ -34,6 +34,9 @@ from .faults import FaultPlan
 from .kernel import DutyCycle, KernelReport, SimKernel, rounds_equivalent
 from .node_state import packetise_blob
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .coding import CodedTransferParams
 
 
 class FleetNode:
@@ -101,6 +104,7 @@ class FleetSim:
         round_s: float,
         apply_s: float,
         component: str,
+        coding: "Optional[CodedTransferParams]" = None,
     ):
         if not 0.0 <= loss < 1.0:
             raise NetConfigError(
@@ -109,6 +113,13 @@ class FleetSim:
         if round_s <= 0.0:
             raise NetConfigError(
                 "round_s", round_s, f"round_s must be positive, got {round_s}"
+            )
+        if coding is not None and coding.scheme != "xor":
+            raise NetConfigError(
+                "coding", coding.scheme,
+                "the event-kernel protocols speak the 'xor' burst-parity "
+                "scheme; the 'lt' fountain runs as a flood campaign "
+                "(repro.net.coding.run_coded_campaign)",
             )
         self.topology = topology
         self.plan = plan if plan is not None else FaultPlan()
@@ -119,6 +130,8 @@ class FleetSim:
         self.old_version = old_version
         self.new_version = new_version
         self.overhead_per_packet = overhead_per_packet
+        self.coding = coding
+        self.repairs = 0
 
         node_count = topology.node_count
         self.kernel = SimKernel(node_count, power=power, duty_cycle=duty_cycle)
@@ -286,6 +299,21 @@ class FleetSim:
         for index in batch:
             mask |= 1 << index
             bits += self.packet_bits[index]
+        parity_groups: "list[list[int]]" = []
+        if self.coding is not None and batch:
+            # Every `group` data packets of the burst are trailed by one
+            # XOR parity packet sized like the widest packet it covers.
+            group = self.coding.group
+            parity_groups = [
+                batch[start : start + group]
+                for start in range(0, len(batch), group)
+            ]
+            bits += sum(
+                max(self.packet_bits[index] for index in members)
+                for members in parity_groups
+            )
+            self.transmissions += len(parity_groups)
+            self.sent[sender] += len(parity_groups)
         self.transmissions += len(batch)
         self.sent[sender] += len(batch)
         self.kernel.account_tx(sender, bits)
@@ -294,7 +322,7 @@ class FleetSim:
                 continue
             self.kernel.account_rx(peer, bits)
             self.on_overhear_data(peer, mask)
-            self._deliver(peer, batch)
+            self._deliver(peer, batch, parity_groups)
         return mask
 
     def unicast_data(self, sender: int, receiver: int, batch: "list[int]") -> None:
@@ -306,7 +334,12 @@ class FleetSim:
         self.kernel.account_rx(receiver, bits)
         self._deliver(receiver, batch)
 
-    def _deliver(self, peer: int, batch: "list[int]") -> None:
+    def _deliver(
+        self,
+        peer: int,
+        batch: "list[int]",
+        parity_groups: "list[list[int]] | None" = None,
+    ) -> None:
         state = self.nodes[peer]
         if state.committed:
             return
@@ -330,14 +363,55 @@ class FleetSim:
                     # the bank never stages it.
                     self.crc_rejections += 1
                     continue
-                bit = 1 << index
-                if state.held & bit:
+                self._stage_packet(peer, index)
+        for members in parity_groups or ():
+            # The parity packet rides the same link, so it draws the
+            # same fault coins in the same order; when it lands and
+            # exactly one member of its group is still missing, the
+            # receiver XORs the loss back locally — no ADV/REQ round
+            # trip and no fresh Trickle interval.
+            deliveries = 1
+            if (
+                plan.duplicate_prob
+                and self.rng_fault.random() < plan.duplicate_prob
+            ):
+                deliveries = 2
+            arrived = False
+            for _ in range(deliveries):
+                if self.rng_link.random() < self.loss:
+                    self.drops += 1
+                    continue
+                if (
+                    plan.corrupt_prob
+                    and self.rng_fault.random() < plan.corrupt_prob
+                ):
+                    self.crc_rejections += 1
+                    continue
+                if arrived:
                     self.duplicates += 1
                     continue
-                state.held |= bit
-                self.received[peer] += 1
-                if state.held == self.full_mask:
-                    self._stage_apply(peer)
+                arrived = True
+            if not arrived:
+                continue
+            missing = [
+                index
+                for index in members
+                if not state.held & (1 << index)
+            ]
+            if len(missing) == 1:
+                self.repairs += 1
+                self._stage_packet(peer, missing[0])
+
+    def _stage_packet(self, peer: int, index: int) -> None:
+        state = self.nodes[peer]
+        bit = 1 << index
+        if state.held & bit:
+            self.duplicates += 1
+            return
+        state.held |= bit
+        self.received[peer] += 1
+        if state.held == self.full_mask:
+            self._stage_apply(peer)
 
     # -- crash-consistent apply -----------------------------------------
 
@@ -383,6 +457,8 @@ class FleetSim:
         if self.remaining > 0:
             self.start()
             self.kernel.run(max_time=max_time)
+        if self.coding is not None:
+            metrics.counter("net.coding.repairs").inc(self.repairs)
         return self.build_report()
 
     def build_report(self) -> KernelReport:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
 from ..energy.power_model import MICA2, PowerModel
@@ -31,6 +31,9 @@ from .fleet_sim import FleetSim
 from .kernel import LPL_1, DutyCycle, KernelReport
 from .node_state import APPLY_ROUNDS
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .coding import CodedTransferParams
 
 
 @dataclass(frozen=True)
@@ -164,6 +167,7 @@ def run_gossip(
     old_version: int = 0,
     new_version: int = 1,
     round_s: float = 1.0,
+    coding: "Optional[CodedTransferParams]" = None,
 ) -> KernelReport:
     """Disseminate ``blob`` by push-pull gossip; never raises for an
     unconverged fleet.
@@ -195,6 +199,7 @@ def run_gossip(
             new_version=new_version,
             round_s=round_s,
             apply_s=APPLY_ROUNDS * round_s,
+            coding=coding,
             component="net-gossip",
             params=gossip_params,
         )

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..diff.packets import DEFAULT_OVERHEAD, DEFAULT_PAYLOAD
 from ..energy.power_model import MICA2, PowerModel
@@ -45,6 +45,9 @@ from .fleet_sim import FleetSim
 from .kernel import LPL_1, DutyCycle, KernelReport
 from .node_state import APPLY_ROUNDS
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .coding import CodedTransferParams
 
 
 @dataclass(frozen=True)
@@ -268,6 +271,7 @@ def run_trickle(
     old_version: int = 0,
     new_version: int = 1,
     round_s: float = 1.0,
+    coding: "Optional[CodedTransferParams]" = None,
 ) -> KernelReport:
     """Disseminate ``blob`` with Trickle; never raises for an
     unconverged fleet.
@@ -300,6 +304,7 @@ def run_trickle(
             new_version=new_version,
             round_s=round_s,
             apply_s=APPLY_ROUNDS * round_s,
+            coding=coding,
             component="net-trickle",
             params=trickle_params,
         )

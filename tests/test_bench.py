@@ -269,3 +269,21 @@ class TestCheckBench:
         path = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_ilp.json"
         report = json.loads(path.read_text())
         assert report["summary"]["median_speedup"] >= 5.0
+
+
+class TestCommittedVersioningBaseline:
+    def test_meets_acceptance_ratios(self):
+        # The PR's acceptance bars on the pinned lossy 1k-node fleet:
+        # cohort plans >= 2x cheaper than full images in modeled
+        # dissemination energy, and the coded transfer measurably
+        # cheaper in transmissions than per-packet NACK repair.
+        path = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_versioning.json"
+        report = json.loads(path.read_text())
+        rows = {row["name"]: row["metrics"] for row in report["workloads"]}
+        cohorts = rows["lossy1k_cohorts"]
+        assert cohorts["energy_ratio"] >= 2.0
+        assert cohorts["converged"] == 1
+        assert cohorts["replay_identical"] == 1
+        coded = rows["lossy1k_coded_vs_nack"]
+        assert coded["tx_ratio"] > 1.0
+        assert coded["coded_converged"] == 1

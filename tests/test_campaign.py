@@ -227,7 +227,7 @@ class TestSessionCampaign:
         case = CASES["6"]
         old = compile_source(case.old_source)
         session = UpdateSession(old, topology=grid(3, 3), loss=0.05)
-        result = session.push_campaign(case.new_source, plan=small_plan())
+        result = session.push_campaign({1: case.new_source}, plan=small_plan())
         assert result.converged
         assert result.nodes_patched == 8
         assert session.version == 1
@@ -238,7 +238,7 @@ class TestSessionCampaign:
         old = compile_source(case.old_source)
         session = UpdateSession(old, topology=grid(3, 3))
         plan = FaultPlan(crashes=(NodeCrash(node=2, round=1),))
-        result = session.push_campaign(case.new_source, plan=plan)
+        result = session.push_campaign({1: case.new_source}, plan=plan)
         assert not result.converged
         assert result.report.quarantined == (2,)
         assert session.version == 0

@@ -121,7 +121,7 @@ class TestSessionProtocol:
         case = CASES["6"]
         old = compile_source(case.old_source)
         session = UpdateSession(old, topology=grid(3, 3), loss=0.05)
-        result = session.push_campaign(case.new_source, protocol="trickle")
+        result = session.push_campaign({1: case.new_source}, protocol="trickle")
         assert result.converged
         assert isinstance(result.report, KernelReport)
         assert result.nodes_patched == 8

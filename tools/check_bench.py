@@ -31,7 +31,7 @@ import json
 import sys
 from pathlib import Path
 
-AREAS = ("compile", "ilp", "diff", "campaign", "dissemination")
+AREAS = ("compile", "ilp", "diff", "campaign", "dissemination", "versioning")
 SCHEMA = "repro-bench/1"
 
 #: The speedup-ratio floor only applies to workloads the fast path

@@ -45,6 +45,7 @@ DOC_FILES = (
     "CHANGES.md",
     "docs/BENCHMARKS.md",
     "docs/SIMULATOR.md",
+    "docs/VERSIONING.md",
 )
 
 CATALOGUE = "docs/OBSERVABILITY.md"
