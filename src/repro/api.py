@@ -55,8 +55,22 @@ from .net.coding import (
     run_coded_campaign,
 )
 from .net.errors import DisconnectedTopologyError, DisseminationIncomplete
-from .net.faults import FaultPlan, NodeCrash, PartitionWindow
+from .net.faults import (
+    FaultPlan,
+    NodeCrash,
+    PartitionWindow,
+    PowerTrace,
+    generate_power_traces,
+)
 from .net.gossip import GossipParams, run_gossip
+from .net.profiles import (
+    BATTERYLESS_HARVEST,
+    DeviceProfile,
+    LORAWAN_DR3,
+    MICA2_PROFILE,
+    PROFILES,
+    get_profile,
+)
 from .net.kernel import (
     ALWAYS_ON,
     LPL_1,
@@ -151,6 +165,7 @@ def run_batch(
 
 __all__ = [
     "ALWAYS_ON",
+    "BATTERYLESS_HARVEST",
     "CODING_SCHEMES",
     "CP_STRATEGIES",
     "CampaignReport",
@@ -160,6 +175,7 @@ __all__ = [
     "CompileConfig",
     "CompiledProgram",
     "DA_STRATEGIES",
+    "DeviceProfile",
     "DisconnectedTopologyError",
     "DisseminationIncomplete",
     "DutyCycle",
@@ -170,12 +186,16 @@ __all__ = [
     "GossipParams",
     "JobOutcome",
     "KernelReport",
+    "LORAWAN_DR3",
     "LPL_1",
     "LPL_10",
+    "MICA2_PROFILE",
     "NodeCrash",
     "PLAN_STRATEGIES",
+    "PROFILES",
     "PROTOCOLS",
     "PartitionWindow",
+    "PowerTrace",
     "RA_STRATEGIES",
     "SessionResult",
     "SimKernel",
@@ -192,6 +212,8 @@ __all__ = [
     "VersionedCampaignResult",
     "build_version_graph",
     "compile_source",
+    "generate_power_traces",
+    "get_profile",
     "make_planner",
     "make_session",
     "plan_cohorts",

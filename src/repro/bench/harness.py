@@ -42,6 +42,7 @@ DEFAULT_REPS = {
     "campaign": (3, 1),
     "dissemination": (3, 1),
     "versioning": (3, 1),
+    "profiles": (3, 1),
 }
 
 

@@ -24,7 +24,16 @@ paper's experiments:
   to v7, run once with the planner's plans and once with forced full
   images (the committed baseline pins the planner's modeled energy
   advantage), plus the coded-vs-NACK transfer comparison whose
-  baseline pins the fountain code's transmission advantage.
+  baseline pins the fountain code's transmission advantage;
+* ``profiles`` — the adversarial device profiles
+  (``docs/SIMULATOR.md``): the Mica2 neutrality check (a profiled
+  campaign byte-identical to an unprofiled one), the LoRaWAN DR3
+  duty-cycle campaign whose baseline pins the deferral count and zero
+  airtime violations, and the battery-less harvest campaign whose
+  baseline pins brownout/resume counts and the fleet lifetime
+  metrics.  Every workload runs through both the kernel driver and
+  the legacy round loop, so the digest cross-check certifies the two
+  profile implementations identical.
 
 A workload's ``job`` callable returns ``(digest, metrics)``.  The
 digest must be a pure function of the answer (never of wall time), so
@@ -55,7 +64,15 @@ from ..regalloc.ilp_ra import build_spec_for_chunk
 from ..workloads import CASES
 from ..workloads.programs import PROGRAMS
 
-AREAS = ("compile", "ilp", "diff", "campaign", "dissemination", "versioning")
+AREAS = (
+    "compile",
+    "ilp",
+    "diff",
+    "campaign",
+    "dissemination",
+    "versioning",
+    "profiles",
+)
 
 #: Metric keys that must be equal between the fast and reference runs
 #: of one workload (on top of the digest, which always must).
@@ -539,6 +556,102 @@ def _coded_vs_nack_job(payload) -> "tuple[str, dict]":
     }
 
 
+# ---------------------------------------------------------------------------
+# profiles: adversarial device profiles (docs/SIMULATOR.md)
+# ---------------------------------------------------------------------------
+
+#: The 2048-byte blob every profiles workload pushes — 32 flash pages
+#: at the battery-less profile's 64-byte page, heavy enough that the
+#: 0.05 J capacitor browns out mid-apply.
+PROFILES_BLOB = bytes(range(256)) * 8
+
+
+def _profiles_payload():
+    from ..net.topology import grid
+
+    return grid(6, 6)
+
+
+def _mica2_parity_job(topology) -> "tuple[str, dict]":
+    from ..net.campaign import run_campaign
+    from ..net.profiles import MICA2_PROFILE
+
+    profiled = run_campaign(
+        topology, PROFILES_BLOB, loss=0.1, seed=7, profile=MICA2_PROFILE
+    )
+    plain = run_campaign(topology, PROFILES_BLOB, loss=0.1, seed=7)
+    parity = int(profiled.to_json() == plain.to_json())
+    digest = _sha({"report": profiled.digest(), "parity": parity})
+    return digest, {
+        "parity": parity,
+        "converged": int(profiled.converged),
+        "rounds": profiled.rounds,
+    }
+
+
+def _lorawan_budget_job(topology) -> "tuple[str, dict]":
+    from ..net.campaign import run_campaign
+    from ..net.profiles import LORAWAN_DR3
+
+    report = run_campaign(
+        topology,
+        PROFILES_BLOB,
+        loss=0.1,
+        seed=7,
+        max_rounds=3000,
+        profile=LORAWAN_DR3,
+    )
+    stats = report.profile_stats or {}
+    return report.digest(), {
+        "converged": int(report.converged),
+        "rounds": report.rounds,
+        "airtime_deferrals": stats.get("airtime_deferrals"),
+        "airtime_violations": stats.get("airtime_violations"),
+    }
+
+
+def _batteryless_job(topology) -> "tuple[str, dict]":
+    from ..net.campaign import run_campaign
+    from ..net.profiles import BATTERYLESS_HARVEST
+
+    report = run_campaign(
+        topology,
+        PROFILES_BLOB,
+        loss=0.1,
+        seed=7,
+        max_rounds=3000,
+        profile=BATTERYLESS_HARVEST,
+    )
+    stats = report.profile_stats or {}
+    return report.digest(), {
+        "converged": int(report.converged),
+        "rounds": report.rounds,
+        "brownouts": stats.get("brownouts"),
+        "resumed_applies": stats.get("resumed_applies"),
+        "first_node_death_s": stats.get("first_node_death_s"),
+    }
+
+
+def _profiles_workloads() -> list[Workload]:
+    return [
+        Workload(
+            name="mica2_profile_parity",
+            setup=_profiles_payload,
+            job=_mica2_parity_job,
+        ),
+        Workload(
+            name="lorawan_dr3_budget",
+            setup=_profiles_payload,
+            job=_lorawan_budget_job,
+        ),
+        Workload(
+            name="batteryless_brownout_resume",
+            setup=_profiles_payload,
+            job=_batteryless_job,
+        ),
+    ]
+
+
 def _versioning_workloads() -> list[Workload]:
     return [
         Workload(
@@ -568,4 +681,6 @@ def workloads_for(area: str) -> list[Workload]:
         return _dissemination_workloads()
     if area == "versioning":
         return _versioning_workloads()
+    if area == "profiles":
+        return _profiles_workloads()
     raise ValueError(f"unknown bench area {area!r}; expected one of {AREAS}")

@@ -81,6 +81,7 @@ from .config import (
 )
 from .core import measure_cycles, plan_update
 from .core.compiler import Compiler
+from .net.profiles import PROFILE_NAMES
 from .sim import DeviceBoard, Simulator, Timer
 from .workloads import CASES
 
@@ -370,6 +371,7 @@ def cmd_campaign(args) -> int:
 
     from .core.session import UpdateSession
     from .net.faults import FaultPlan, generate_fault_plan
+    from .net.profiles import get_profile
     from .net.topology import grid
 
     if args.case:
@@ -434,14 +436,16 @@ def cmd_campaign(args) -> int:
         old, topology=topology, loss=args.loss, loss_seed=args.seed,
         config=_update_config(args), version=from_version,
     )
+    profile = get_profile(args.profile) if args.profile else None
     result = session.push_campaign(
         {to_version: new_source}, plan=plan, max_rounds=args.rounds,
-        protocol=args.protocol, coding=coding,
+        protocol=args.protocol, coding=coding, profile=profile,
     )
     print(f"campaign {label} (ra={args.ra} da={args.da}, "
           f"{topology.node_count} nodes, loss={args.loss:g}, "
           f"protocol={args.protocol}, v{from_version} -> v{to_version}"
           + (f", coding={args.coding}" if coding is not None else "")
+          + (f", profile={args.profile}" if profile is not None else "")
           + ")")
     print(f"faults   : {plan.describe()}")
     print(result.report.render())
@@ -555,16 +559,34 @@ def cmd_fuzz(args) -> int:
             if (iteration + 1) % 25 == 0:
                 print(f"... {iteration + 1}/{args.iters} campaigns")
 
-        sweep = run_versioned_fuzz if args.versioned else run_fault_fuzz
-        fault_report = sweep(
-            seed=args.seed,
-            iters=args.iters,
-            intensity=args.intensity,
-            update_config=_update_config(args),
-            on_progress=on_fault_progress,
-        )
+        if args.versioned:
+            if args.profile is not None:
+                print("--profile applies to the --faults sweep, not "
+                      "--versioned", file=sys.stderr)
+                return 2
+            fault_report = run_versioned_fuzz(
+                seed=args.seed,
+                iters=args.iters,
+                intensity=args.intensity,
+                update_config=_update_config(args),
+                on_progress=on_fault_progress,
+            )
+        else:
+            fault_report = run_fault_fuzz(
+                seed=args.seed,
+                iters=args.iters,
+                intensity=args.intensity,
+                update_config=_update_config(args),
+                on_progress=on_fault_progress,
+                profile=args.profile,
+            )
         print(fault_report.render())
         return 0 if fault_report.ok else 1
+
+    if args.profile is not None:
+        print("--profile needs --faults (the deployment sweep)",
+              file=sys.stderr)
+        return 2
 
     config = GenConfig(
         max_funcs=args.max_funcs,
@@ -720,6 +742,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fuzz version-heterogeneous fleets through "
                              "the version-graph planner and versioned "
                              "campaign (docs/VERSIONING.md)")
+    p_fuzz.add_argument("--profile", default=None,
+                        choices=list(PROFILE_NAMES),
+                        help="device profile for the --faults sweep "
+                             "(mica2, lorawan-dr3, batteryless); an "
+                             "energy-limited profile adds seeded "
+                             "intermittent-power traces and the "
+                             "golden-image oracle")
     p_fuzz.add_argument("--intensity", type=float, default=1.0,
                         help="fault-plan intensity for --faults/"
                              "--versioned (default 1.0)")
@@ -768,6 +797,12 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("none", "lt", "xor"),
                             help="coded transfer: 'lt' fountain (flood) "
                                  "or 'xor' burst parity (trickle/gossip)")
+    p_campaign.add_argument("--profile", default=None,
+                            choices=list(PROFILE_NAMES),
+                            help="device profile: radio draws, MTU "
+                                 "fragmentation, kernel-enforced airtime "
+                                 "budget, capacitor brownout model "
+                                 "(docs/SIMULATOR.md)")
     p_campaign.add_argument("--random-faults", action="store_true",
                             help="generate the fault plan from --fault-seed")
     p_campaign.add_argument("--intensity", type=float, default=1.0,

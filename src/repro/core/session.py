@@ -27,6 +27,7 @@ from ..net.dissemination import DisseminationResult, disseminate
 from ..net.errors import DisseminationIncomplete
 from ..net.faults import FaultPlan
 from ..net.lossy import disseminate_lossy
+from ..net.profiles import DeviceProfile
 from ..net.topology import Topology, grid
 from ..obs import trace
 from .compiler import CompiledProgram
@@ -245,6 +246,7 @@ class UpdateSession:
         protocol: str = "flood",
         coding: "CodedTransferParams | None" = None,
         fleet_versions: "Mapping[int, int] | None" = None,
+        profile: "DeviceProfile | None" = None,
     ) -> "CampaignResult | VersionedCampaignResult":
         """Drive one or more releases to fleet convergence under a
         fault plan.
@@ -276,7 +278,10 @@ class UpdateSession:
         :data:`repro.net.campaign.PROTOCOLS`); ``coding`` switches the
         waves to coded transfer (:class:`repro.net.coding
         .CodedTransferParams` — the ``"lt"`` fountain with flood, the
-        ``"xor"`` burst parity with the kernel protocols).
+        ``"xor"`` burst parity with the kernel protocols);
+        ``profile`` pins a :class:`repro.net.profiles.DeviceProfile`
+        (radio draws, MTU fragmentation, airtime budget, capacitor
+        brownout model) on the single-release campaign.
         """
         if isinstance(payloads, str):
             warnings.warn(
@@ -317,7 +322,13 @@ class UpdateSession:
             if single:
                 return self._push_single_campaign(
                     releases[self.version + 1], plan, cfg, max_rounds,
-                    protocol, coding,
+                    protocol, coding, profile,
+                )
+            if profile is not None:
+                raise PlanStateError(
+                    "push_campaign",
+                    "device profiles apply to single-release campaigns; "
+                    "the version-graph planner does not take one yet",
                 )
             return self._push_versioned_campaign(
                 releases, plan, cfg, max_rounds, protocol, coding,
@@ -332,6 +343,7 @@ class UpdateSession:
         max_rounds: int,
         protocol: str,
         coding: "CodedTransferParams | None",
+        profile: "DeviceProfile | None" = None,
     ) -> CampaignResult:
         planner = UpdatePlanner(
             self.deployed, config=cfg, **self.planner_kwargs
@@ -364,6 +376,7 @@ class UpdateSession:
             new_version=self.version + 1,
             protocol=protocol,
             coding=coding,
+            profile=profile,
         )
         if report.converged:
             self.deployed = update.new

@@ -36,6 +36,7 @@ is, in the fault space.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import hashlib
 import random
@@ -46,7 +47,8 @@ from ..core.compiler import compile_source
 from ..core.update import UpdatePlanner
 from ..diff.patcher import patched_words
 from ..net.campaign import CampaignReport, run_campaign
-from ..net.faults import FaultPlan, generate_fault_plan
+from ..net.faults import FaultPlan, generate_fault_plan, generate_power_traces
+from ..net.profiles import DeviceProfile, get_profile
 from ..net.topology import Topology, grid, line, random_geometric
 from ..obs import metrics, trace
 from .oracles import MAX_CYCLES, _board
@@ -91,6 +93,10 @@ class FaultFuzzReport:
     crashes_injected: int = 0
     partitions_injected: int = 0
     digest: str = ""
+    profile: str | None = None
+    power_traces_injected: int = 0
+    brownouts_observed: int = 0
+    resumed_applies_observed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -106,6 +112,13 @@ class FaultFuzzReport:
             f"injected : {self.crashes_injected} crashes, "
             f"{self.partitions_injected} partitions",
         ]
+        if self.profile is not None:
+            lines.append(
+                f"profile  : {self.profile} — "
+                f"{self.power_traces_injected} power traces injected, "
+                f"{self.brownouts_observed} brownouts, "
+                f"{self.resumed_applies_observed} resumed applies"
+            )
         for finding in self.findings:
             lines.append("FAIL " + finding.render())
         return "\n".join(lines)
@@ -181,12 +194,35 @@ def _build_pair(rng: random.Random, config: UpdateConfig) -> _Pair:
 
 
 def _check_report(
-    report: CampaignReport, replay: CampaignReport, plan: FaultPlan
+    report: CampaignReport,
+    replay: CampaignReport,
+    plan: FaultPlan,
+    profile: DeviceProfile | None = None,
 ) -> list:
-    """The convergence-or-quarantine oracle over one campaign run."""
+    """The convergence-or-quarantine oracle over one campaign run.
+
+    With an active device ``profile`` the golden-image invariant is the
+    same check sharpened: under any power trace every node must end
+    converged, resuming (quarantined at the golden version, checkpoint
+    intact), or quarantined — never on a torn image — and the airtime
+    budget is enforced in the kernel, so the violation counter must be
+    pinned at zero.
+    """
     messages = []
-    if report.outcome not in ("converged", "partial"):
+    allowed = ("converged", "partial")
+    if profile is not None and profile.is_airtime_limited:
+        allowed = ("converged", "partial", "stalled-budget")
+    if report.outcome not in allowed:
         messages.append(f"unknown outcome {report.outcome!r}")
+    stats = report.profile_stats
+    if profile is not None and not profile.is_neutral:
+        if stats is None:
+            messages.append("profile campaign returned no profile stats")
+        elif stats["airtime_violations"]:
+            messages.append(
+                f"{stats['airtime_violations']} airtime violations under a "
+                "kernel-enforced duty-cycle budget"
+            )
     if report.converged and report.quarantined:
         messages.append(
             f"converged outcome but quarantined nodes {report.quarantined}"
@@ -229,16 +265,32 @@ def run_fault_fuzz(
     intensity: float = 1.0,
     update_config: UpdateConfig | None = None,
     on_progress=None,
+    profile: "DeviceProfile | str | None" = None,
 ) -> FaultFuzzReport:
     """Run one deterministic fault-plan sweep.
 
     Every iteration draws its own RNG from ``(seed, iteration)`` so any
     single case replays in isolation, exactly like :func:`.runner.run_fuzz`.
+
+    ``profile`` pins a :class:`~repro.net.profiles.DeviceProfile` (or
+    its name) on every campaign.  An energy-limited profile turns the
+    sweep into the **intermittent-power oracle**: each iteration also
+    draws seeded power traces (scripted brownout thresholds and harvest
+    scales) that fire between individual flash page writes, and the
+    oracle asserts the golden-image invariant — every node ends
+    converged, resuming, or quarantined, never on a torn image — plus
+    replay identity and a zero airtime-violation counter.
     """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
     config = (
         update_config if update_config is not None else UpdateConfig()
     )
-    report = FaultFuzzReport(seed=seed, iterations=iters)
+    report = FaultFuzzReport(
+        seed=seed,
+        iterations=iters,
+        profile=None if profile is None else profile.name,
+    )
     hasher = hashlib.sha256()
     pair: _Pair | None = None
     for iteration in range(iters):
@@ -256,6 +308,26 @@ def run_fault_fuzz(
                 max_rounds=FUZZ_MAX_ROUNDS,
                 intensity=intensity,
             )
+            if profile is not None and profile.is_energy_limited:
+                # Scale the scripted cuts to the blob's flash-write
+                # cost so they land *between* individual page writes
+                # of the apply, not past the campaign's total spend.
+                scale_j = None
+                if profile.is_paged:
+                    scale_j = (
+                        profile.pages_for(len(pair.blob))
+                        * profile.flash_write_j_per_page
+                    )
+                plan = dataclasses.replace(
+                    plan,
+                    power_traces=generate_power_traces(
+                        rng,
+                        topology.node_count,
+                        storage_j=profile.storage_j,
+                        intensity=intensity,
+                        scale_j=scale_j,
+                    ),
+                )
             loss = round(rng.uniform(0.0, 0.25), 3)
             link_seed = rng.randrange(1 << 31)
 
@@ -272,12 +344,13 @@ def run_fault_fuzz(
                 max_rounds=FUZZ_MAX_ROUNDS,
                 payload_per_packet=pair.payload,
                 overhead_per_packet=pair.overhead,
+                profile=profile,
             )
 
             outcome = campaign()
             replay = campaign()
             messages = list(pair.sim_failures)
-            messages += _check_report(outcome, replay, plan)
+            messages += _check_report(outcome, replay, plan, profile=profile)
             span.set(ok=not messages, outcome=outcome.outcome)
         metrics.counter("fuzz.fault.campaigns").inc()
         if outcome.converged:
@@ -287,6 +360,12 @@ def run_fault_fuzz(
         report.quarantined_total += len(outcome.quarantined)
         report.crashes_injected += len(plan.crashes)
         report.partitions_injected += len(plan.partitions)
+        report.power_traces_injected += len(plan.power_traces)
+        if outcome.profile_stats is not None:
+            report.brownouts_observed += outcome.profile_stats["brownouts"]
+            report.resumed_applies_observed += outcome.profile_stats[
+                "resumed_applies"
+            ]
         hasher.update(plan.digest().encode())
         hasher.update(outcome.digest().encode())
         if messages:

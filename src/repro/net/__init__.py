@@ -82,27 +82,50 @@ from .lossy import LossyResult, NACK_BYTES, disseminate_lossy
 __all__ += ["LossyResult", "NACK_BYTES", "disseminate_lossy"]
 
 from .errors import DisconnectedTopologyError, DisseminationIncomplete
-from .faults import FaultPlan, NodeCrash, PartitionWindow, generate_fault_plan
+from .faults import (
+    FaultPlan,
+    NodeCrash,
+    PartitionWindow,
+    PowerTrace,
+    generate_fault_plan,
+    generate_power_traces,
+)
 from .node_state import (
     NodeUpdateState,
     ScriptPacket,
     packet_crc,
     packetise_blob,
 )
+from .profiles import (
+    BATTERYLESS_HARVEST,
+    DeviceProfile,
+    LORAWAN_DR3,
+    MICA2_PROFILE,
+    PROFILES,
+    get_profile,
+)
 from .campaign import CampaignReport, PROTOCOLS, ROUND_S, run_campaign
 
 __all__ += [
+    "BATTERYLESS_HARVEST",
     "CampaignReport",
+    "DeviceProfile",
     "DisconnectedTopologyError",
     "DisseminationIncomplete",
     "FaultPlan",
+    "LORAWAN_DR3",
+    "MICA2_PROFILE",
     "NodeCrash",
     "NodeUpdateState",
+    "PROFILES",
     "PROTOCOLS",
     "PartitionWindow",
+    "PowerTrace",
     "ROUND_S",
     "ScriptPacket",
     "generate_fault_plan",
+    "generate_power_traces",
+    "get_profile",
     "packet_crc",
     "packetise_blob",
     "run_campaign",

@@ -37,6 +37,7 @@ from .faults import FaultPlan
 from .kernel import SimKernel
 from .lossy import NACK_BYTES
 from .node_state import APPLY_ROUNDS, NodeUpdateState, packetise_blob
+from .profiles import DeviceProfile
 from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -52,7 +53,7 @@ DEFAULT_STALL_LIMIT = 24
 class CampaignReport:
     """Structured outcome of one update campaign."""
 
-    outcome: str  # "converged" | "partial"
+    outcome: str  # "converged" | "partial" | "stalled-budget"
     rounds: int
     packets: int
     script_bytes: int
@@ -70,6 +71,11 @@ class CampaignReport:
     duplicates: int = 0
     fault_log: list[str] = field(default_factory=list)
     plan_digest: str = ""
+    #: Device-profile outcome block (airtime deferrals, brownout/resume
+    #: counts, lifetime metrics).  ``None`` for profile-less runs and for
+    #: the neutral ``MICA2`` profile, which keeps their ``to_json``
+    #: byte-identical to every report minted before profiles existed.
+    profile_stats: dict | None = None
 
     @property
     def converged(self) -> bool:
@@ -133,6 +139,8 @@ class CampaignReport:
                 for node, ledger in sorted(self.ledgers.items())
             },
         }
+        if self.profile_stats is not None:
+            payload["profile"] = self.profile_stats
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def digest(self) -> str:
@@ -152,6 +160,18 @@ class CampaignReport:
             f"energy   : {self.total_energy_j * 1e3:.2f} mJ network total, "
             f"hottest node {self.max_node_energy_j() * 1e6:.1f} uJ",
         ]
+        if self.profile_stats is not None:
+            stats = self.profile_stats
+            line = (
+                f"profile  : {stats['name']} — "
+                f"{stats['airtime_deferrals']} airtime deferrals "
+                f"({stats['airtime_violations']} violations), "
+                f"{stats['brownouts']} brownouts, "
+                f"{stats['resumed_applies']} resumed applies"
+            )
+            if stats.get("first_node_death_s") is not None:
+                line += f", first death {stats['first_node_death_s']:g}s"
+            lines.append(line)
         if self.quarantined:
             nodes = ", ".join(str(node) for node in self.quarantined)
             lines.append(f"quarantined: {nodes}")
@@ -187,6 +207,7 @@ def run_campaign(
     stall_limit: int = DEFAULT_STALL_LIMIT,
     protocol: str = "flood",
     coding: "CodedTransferParams | None" = None,
+    profile: DeviceProfile | None = None,
 ):
     """Disseminate ``blob`` to every reachable node under ``plan``.
 
@@ -203,6 +224,18 @@ def run_campaign(
     ``max_rounds * ROUND_S`` seconds and return a
     :class:`~repro.net.kernel.KernelReport` (same consumer surface:
     ``converged`` / ``outcome`` / ``render`` / ``digest``).
+
+    ``profile`` applies a :class:`~repro.net.profiles.DeviceProfile`:
+    its power model replaces ``power``, payloads are fragmented to its
+    MTU, airtime budgets are enforced (a node out of budget defers TX to
+    its next legal slot — never violates), and energy-limited profiles
+    get the capacitor brownout model with page-granular checkpointed
+    apply.  The neutral ``MICA2`` profile (or ``None``) leaves every
+    byte of the report identical to a profile-less run.  An
+    airtime-starved fleet that stops short of convergence comes back as
+    ``outcome="stalled-budget"`` with the still-pending nodes listed in
+    ``profile_stats["stalled_pending"]`` — resume by re-running with a
+    larger ``max_rounds``.
     """
     if not 0.0 <= loss < 1.0:
         raise NetConfigError(
@@ -214,7 +247,21 @@ def run_campaign(
             f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}",
         )
     plan = plan if plan is not None else FaultPlan()
+    if profile is not None:
+        power = profile.power
+    if plan.power_traces and (profile is None or not profile.is_energy_limited):
+        raise NetConfigError(
+            "profile", None if profile is None else profile.name,
+            "the fault plan scripts power traces, which only act under an "
+            "energy-limited device profile (storage_j > 0)",
+        )
     if coding is not None and coding.scheme == "lt":
+        if profile is not None and not profile.is_neutral:
+            raise NetConfigError(
+                "coding", coding.scheme,
+                "the 'lt' fountain path does not model device-profile "
+                "constraints; use the flood/trickle/gossip protocols",
+            )
         if protocol != "flood":
             raise NetConfigError(
                 "coding", coding.scheme,
@@ -257,6 +304,7 @@ def run_campaign(
             new_version=new_version,
             round_s=ROUND_S,
             coding=coding,
+            profile=profile,
         )
     if coding is not None:
         raise NetConfigError(
@@ -285,6 +333,7 @@ def run_campaign(
             new_version=new_version,
             apply_rounds=apply_rounds,
             stall_limit=stall_limit,
+            profile=profile,
         )
     metrics.counter("campaign.runs").inc()
     metrics.histogram("campaign.rounds").observe(report.rounds)
@@ -300,6 +349,16 @@ def run_campaign(
     else:
         metrics.counter("campaign.partial").inc()
         metrics.counter("campaign.quarantined_nodes").inc(len(report.quarantined))
+    if report.profile_stats is not None:
+        stats = report.profile_stats
+        metrics.counter("net.profile.airtime_deferrals").inc(
+            stats["airtime_deferrals"]
+        )
+        metrics.counter("net.profile.airtime_violations").inc(
+            stats["airtime_violations"]
+        )
+        if report.outcome == "stalled-budget":
+            metrics.counter("net.profile.stalled_budget").inc()
     return report
 
 
@@ -333,6 +392,7 @@ class _CampaignEngine:
         new_version: int,
         apply_rounds: int,
         stall_limit: int,
+        profile: DeviceProfile | None = None,
     ):
         self.topology = topology
         self.blob = blob
@@ -345,6 +405,16 @@ class _CampaignEngine:
         self.new_version = new_version
         self.apply_rounds = apply_rounds
         self.stall_limit = stall_limit
+        # A neutral profile (MICA2) is dropped here so every profile
+        # code path below is gated on ``self.profile is not None`` and
+        # the report stays byte-identical to a profile-less run.
+        self.profile = (
+            profile if profile is not None and not profile.is_neutral else None
+        )
+        if self.profile is not None:
+            payload_per_packet = self.profile.effective_payload(
+                payload_per_packet
+            )
 
         node_count = topology.node_count
         self.node_count = node_count
@@ -422,11 +492,63 @@ class _CampaignEngine:
         self.round_progress: dict[int, bool] = {}
         self.partition_open: set[int] = set()
 
+        # -- device-profile state (all inert without an active profile) --
+        # Airtime: cumulative on-air seconds per node against a cap that
+        # grows by ``ROUND_S * budget`` every round, so the long-run duty
+        # cycle can never exceed the regulatory budget.
+        self.air_budget = (
+            self.profile.airtime_budget
+            if self.profile is not None and self.profile.is_airtime_limited
+            else None
+        )
+        self.air_s = [0.0] * node_count
+        self.airtime_deferrals = 0
+        self.airtime_violations = 0
+        self.last_budget_block = -1
+        # Capacitor charge model: per-node stored energy, cumulative
+        # spend (what scripted power traces trigger on), and the set of
+        # browned-out nodes waiting on a recharge.
+        self.pages_total = 0
+        self.flash_page_j = 0.0
+        self.stored: list[float] | None = None
+        self.browned: set[int] = set()
+        self.first_death_round: int | None = None
+        self.network_death_round: int | None = None
+        if self.profile is not None and self.profile.is_paged:
+            self.pages_total = self.profile.pages_for(len(blob))
+            self.flash_page_j = self.profile.flash_write_j_per_page
+        if self.profile is not None and self.profile.is_energy_limited:
+            prof = self.profile
+            self.storage_j = prof.storage_j
+            self.restart_j = prof.restart_fraction * prof.storage_j
+            self.stored = [prof.storage_j * prof.start_fraction] * node_count
+            self.spent = [0.0] * node_count
+            self.harvest_round_j = [prof.harvest_w * ROUND_S] * node_count
+            self.trace_cuts: dict[int, tuple[float, ...]] = {}
+            self.trace_pos: dict[int, int] = {}
+            for trace_ in plan.power_traces:
+                if trace_.node >= node_count:
+                    continue
+                self.trace_cuts[trace_.node] = trace_.brownout_at_j
+                self.trace_pos[trace_.node] = 0
+                self.harvest_round_j[trace_.node] = (
+                    prof.harvest_w * ROUND_S * trace_.harvest_scale
+                )
+
     # -- predicates ------------------------------------------------------
 
     def link_up(self, a: int, b: int, round_no: int) -> bool:
         return not any(
             w.severs(a, b, round_no) for w in self.plan.partitions
+        )
+
+    def can_recover(self, node: int) -> bool:
+        """Will a browned-out node ever recharge to its restart level?"""
+        if self.stored is None or node not in self.browned:
+            return False
+        return (
+            self.harvest_round_j[node] > 0.0
+            or self.stored[node] >= self.restart_j
         )
 
     def pending_nodes(self) -> list[int]:
@@ -436,6 +558,8 @@ class _CampaignEngine:
             if node in self.unreachable or self.states[node].committed:
                 continue
             if self.states[node].alive:
+                out.append(node)
+            elif self.can_recover(node):
                 out.append(node)
             elif any(
                 crash.node == node and crash.reboot_round is not None
@@ -451,17 +575,116 @@ class _CampaignEngine:
         Returns ``False`` (without advancing) when the campaign is done
         — fleet converged, or stalled with no scheduled fault event
         still to come (bounded retry: such a fleet will never make
-        progress, so stop burning rounds).
+        progress, so stop burning rounds).  Two profile-driven waits
+        count as scheduled events: an airtime budget that blocked a
+        transmission since the last progress (the cap grows every
+        round, so the deferred TX has a legal slot coming), and a
+        browned-out node still recharging toward its restart level.
         """
         if not self.pending_nodes():
             return False
         if self.rounds - self.last_progress >= self.stall_limit and not any(
             event > self.rounds for event in self.event_rounds
         ):
-            return False
+            waiting_budget = (
+                self.air_budget is not None
+                and self.last_budget_block >= self.last_progress
+            )
+            waiting_power = any(
+                self.can_recover(node) for node in self.browned
+            )
+            if not waiting_budget and not waiting_power:
+                return False
         self.rounds += 1
         self.round_progress = {}
         return True
+
+    # -- device-profile machinery ---------------------------------------
+
+    def tx_allowed(self, node: int, airtime_s: float) -> bool:
+        """May ``node`` put ``airtime_s`` seconds on the air this round
+        without busting its cumulative duty-cycle cap?"""
+        if self.air_budget is None:
+            return True
+        cap = self.rounds * ROUND_S * self.air_budget
+        return self.air_s[node] + airtime_s <= cap + 1e-12
+
+    def note_tx_airtime(self, node: int, airtime_s: float) -> None:
+        self.air_s[node] += airtime_s
+        if self.air_budget is None:
+            return
+        cap = self.rounds * ROUND_S * self.air_budget
+        if self.air_s[node] > cap + 1e-9:  # unreachable by construction
+            self.airtime_violations += 1
+            metrics.counter("net.profile.airtime_violations").inc()
+
+    def defer_tx(self, node: int, packets: int = 1) -> None:
+        """Budget exhausted: the node stays silent and retries in a
+        later round once the cap has grown — never a violation."""
+        self.airtime_deferrals += packets
+        self.last_budget_block = self.rounds
+        metrics.counter("net.profile.airtime_deferrals").inc(packets)
+
+    def spend(self, node: int, joules: float) -> bool:
+        """Debit the node's capacitor; False means the energy ran out
+        (or a scripted power trace fired) and the node must brown out."""
+        if self.stored is None or node == 0:
+            return True
+        self.spent[node] += joules
+        self.stored[node] -= joules
+        powered = True
+        cuts = self.trace_cuts.get(node)
+        if cuts is not None:
+            position = self.trace_pos[node]
+            while position < len(cuts) and self.spent[node] >= cuts[position]:
+                position += 1
+                powered = False
+            self.trace_pos[node] = position
+        if self.stored[node] <= 0.0:
+            self.stored[node] = 0.0
+            powered = False
+        return powered
+
+    def fire_brownout(self, node: int, where: str) -> None:
+        """Power loss mid-operation: volatile staging state is gone, the
+        nonvolatile page checkpoint and the committed bank survive."""
+        state = self.states[node]
+        state.brownout()
+        self.browned.add(node)
+        metrics.counter("net.profile.brownouts").inc()
+        self.fault_log.append(
+            f"r{self.rounds}: node {node} browned out during {where} "
+            f"(checkpoint {state.pages_done}/{self.pages_total} pages)"
+        )
+        if self.first_death_round is None:
+            self.first_death_round = self.rounds
+        if self.network_death_round is None and all(
+            not self.states[peer].alive
+            for peer in range(1, self.node_count)
+            if peer not in self.unreachable
+        ):
+            self.network_death_round = self.rounds
+
+    def power_round(self) -> None:
+        """Harvest income and recharge-driven resumes, at round start."""
+        if self.stored is None:
+            return
+        for node in range(1, self.node_count):
+            if node in self.unreachable:
+                continue
+            self.stored[node] = min(
+                self.storage_j, self.stored[node] + self.harvest_round_j[node]
+            )
+            if node in self.browned and self.stored[node] >= self.restart_j:
+                self.browned.discard(node)
+                state = self.states[node]
+                state.resume(self.rounds)
+                metrics.counter("net.profile.resumes").inc()
+                self.fault_log.append(
+                    f"r{self.rounds}: node {node} resumed "
+                    f"(checkpoint {state.pages_done}/{self.pages_total} pages)"
+                )
+                self.last_progress = self.rounds
 
     # -- fault events ----------------------------------------------------
 
@@ -534,19 +757,32 @@ class _CampaignEngine:
         node_count = self.node_count
         round_progress = self.round_progress
 
+        # -- power phase (harvest income, recharge-driven resumes) -------
+        self.power_round()
+
         # -- NACK phase (backoff-gated version/missing advertisement) ----
+        nack_airtime = self.nack_bits / power.radio_bps
         for node in range(1, node_count):
             state = states[node]
             if not state.should_nack(rounds, count):
                 continue
+            if not self.tx_allowed(node, nack_airtime):
+                self.defer_tx(node)
+                continue
             self.nacks += 1
             state.note_nack(rounds, count)
-            ledgers[node].tx_j += self.nack_bits * power.tx_bit_energy_j
+            self.note_tx_airtime(node, nack_airtime)
+            nack_tx_j = self.nack_bits * power.tx_bit_energy_j
+            ledgers[node].tx_j += nack_tx_j
+            if not self.spend(node, nack_tx_j):
+                self.fire_brownout(node, "NACK tx")
+                continue
             for peer in topology.neighbors.get(node, ()):
                 if states[peer].alive and self.link_up(node, peer, rounds):
-                    ledgers[peer].rx_j += (
-                        self.nack_bits * power.rx_bit_energy_j
-                    )
+                    nack_rx_j = self.nack_bits * power.rx_bit_energy_j
+                    ledgers[peer].rx_j += nack_rx_j
+                    if not self.spend(peer, nack_rx_j):
+                        self.fire_brownout(peer, "NACK rx")
 
         # -- broadcast phase (snapshot: hop-by-hop progression) ----------
         snapshot = {
@@ -567,16 +803,28 @@ class _CampaignEngine:
             for peer in neighbours:
                 wanted |= states[peer].advertised_missing
             sendable = sorted(snapshot[sender] & wanted)
-            for index in sendable:
+            for slot, index in enumerate(sendable):
                 packet = self.packets[index]
                 bits = 8 * (len(packet.payload) + self.overhead_per_packet)
+                airtime = bits / power.radio_bps
+                if not self.tx_allowed(sender, airtime):
+                    # Duty-cycle budget exhausted: the node falls silent
+                    # for the rest of the round and retries once the cap
+                    # has grown — TX is deferred, never illegal.
+                    self.defer_tx(sender, len(sendable) - slot)
+                    break
                 self.broadcasts += 1
                 key = (sender, index)
                 self.tx_counts[key] = self.tx_counts.get(key, 0) + 1
-                ledgers[sender].tx_j += bits * power.tx_bit_energy_j
+                self.note_tx_airtime(sender, airtime)
+                tx_j = bits * power.tx_bit_energy_j
+                ledgers[sender].tx_j += tx_j
                 ledgers[sender].packets_sent += 1
+                sender_powered = self.spend(sender, tx_j)
                 for peer in neighbours:
                     peer_state = states[peer]
+                    if not peer_state.alive:
+                        continue
                     if peer_state.committed or index in peer_state.bank:
                         continue
                     deliveries = 1
@@ -586,7 +834,11 @@ class _CampaignEngine:
                     ):
                         deliveries = 2
                     for _ in range(deliveries):
-                        ledgers[peer].rx_j += bits * power.rx_bit_energy_j
+                        rx_j = bits * power.rx_bit_energy_j
+                        ledgers[peer].rx_j += rx_j
+                        if not self.spend(peer, rx_j):
+                            self.fire_brownout(peer, "packet rx")
+                            break
                         if self.rng_link.random() < self.loss:
                             self.drops += 1
                             continue
@@ -607,8 +859,16 @@ class _CampaignEngine:
                             self.crc_rejections += 1
                         elif verdict == "duplicate":
                             self.duplicates += 1
+                if not sender_powered:
+                    self.fire_brownout(sender, "packet tx")
+                    break
 
         # -- apply phase (two-bank write, commit = boot-pointer flip) ----
+        pages_per_round = (
+            -(-self.pages_total // max(1, self.apply_rounds))
+            if self.pages_total
+            else 0
+        )
         for node in range(1, node_count):
             state = states[node]
             if state.state not in ("staged", "applying"):
@@ -622,7 +882,35 @@ class _CampaignEngine:
                 state.bank.clear()
                 state.state = "idle"
                 continue
+            if self.pages_total:
+                # Page-granular apply: each flash page costs real energy
+                # and the capacitor is checked *between* page writes —
+                # a brownout leaves the completed-page checkpoint intact
+                # and the boot pointer on the golden image.
+                if state.state == "staged":
+                    state.begin_pages(self.pages_total)
+                page_j = self.flash_page_j + self.patch_j / self.pages_total
+                done = state.pages_done >= self.pages_total
+                for _ in range(pages_per_round):
+                    if done or not state.alive:
+                        break
+                    ledgers[node].cpu_j += page_j
+                    if not self.spend(node, page_j):
+                        # The in-flight page write tears: it is *not*
+                        # checkpointed, so resume restarts this page.
+                        self.fire_brownout(node, "flash page write")
+                        break
+                    done = state.write_page()
+                if done and state.commit_pages(self.new_version):
+                    round_progress[node] = True
+                    self.last_progress = rounds
+                continue
             ledgers[node].cpu_j += self.patch_j / max(1, self.apply_rounds)
+            if self.stored is not None and not self.spend(
+                node, self.patch_j / max(1, self.apply_rounds)
+            ):
+                self.fire_brownout(node, "patch apply")
+                continue
             if state.tick_apply(self.new_version):
                 round_progress[node] = True
                 self.last_progress = rounds
@@ -645,6 +933,51 @@ class _CampaignEngine:
             c - 1 for c in self.tx_counts.values() if c > 1
         )
         outcome = "converged" if not quarantined else "partial"
+        profile_stats = None
+        if self.profile is not None:
+            if (
+                outcome == "partial"
+                and self.air_budget is not None
+                and self.airtime_deferrals
+                and self.last_budget_block >= self.last_progress
+            ):
+                # The fleet ran out of legal airtime, not out of luck:
+                # the report is resumable (same plan, larger
+                # ``max_rounds`` — the duty-cycle cap keeps growing).
+                outcome = "stalled-budget"
+            node_brownouts = {
+                str(node): self.states[node].brownouts
+                for node in range(self.node_count)
+                if self.states[node].brownouts
+            }
+            node_resumed = {
+                str(node): self.states[node].resumed_applies
+                for node in range(self.node_count)
+                if self.states[node].resumed_applies
+            }
+            profile_stats = {
+                "name": self.profile.name,
+                "airtime_budget": self.profile.airtime_budget,
+                "airtime_deferrals": self.airtime_deferrals,
+                "airtime_violations": self.airtime_violations,
+                "brownouts": sum(node_brownouts.values()),
+                "resumed_applies": sum(node_resumed.values()),
+                "node_brownouts": node_brownouts,
+                "node_resumed_applies": node_resumed,
+                "pages_total": self.pages_total,
+                "first_node_death_s": (
+                    None
+                    if self.first_death_round is None
+                    else self.first_death_round * ROUND_S
+                ),
+                "network_death_s": (
+                    None
+                    if self.network_death_round is None
+                    else self.network_death_round * ROUND_S
+                ),
+            }
+            if outcome == "stalled-budget":
+                profile_stats["stalled_pending"] = self.pending_nodes()
         return CampaignReport(
             outcome=outcome,
             rounds=self.rounds,
@@ -667,6 +1000,7 @@ class _CampaignEngine:
             duplicates=self.duplicates,
             fault_log=self.fault_log,
             plan_digest=self.plan.digest(),
+            profile_stats=profile_stats,
         )
 
 
@@ -733,6 +1067,7 @@ def _run_campaign(
     new_version: int,
     apply_rounds: int,
     stall_limit: int,
+    profile: DeviceProfile | None = None,
 ) -> CampaignReport:
     engine = _CampaignEngine(
         topology,
@@ -748,6 +1083,7 @@ def _run_campaign(
         new_version=new_version,
         apply_rounds=apply_rounds,
         stall_limit=stall_limit,
+        profile=profile,
     )
     if fastpath_enabled():
         _drive_kernel(engine)

@@ -111,6 +111,52 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class PowerTrace:
+    """A scripted power history for one node.
+
+    ``brownout_at_j`` lists cumulative *spent*-energy thresholds (in
+    joules, strictly ascending): the node browns out the moment its
+    total energy spend crosses each threshold — deliberately checked
+    between individual flash page writes during ``tick_apply``, the
+    worst possible instants for a two-bank update.  ``harvest_scale``
+    scales the profile's harvest income for this node (0 = permanently
+    shaded panel, 2 = node in full sun).
+
+    Power traces only act under an energy-limited
+    :class:`~repro.net.profiles.DeviceProfile`; campaigns without one
+    ignore them (and a plan without traces keeps its pre-trace digest,
+    so every committed report digest survives this extension).
+    """
+
+    node: int
+    brownout_at_j: tuple[float, ...] = ()
+    harvest_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.node < 1:
+            raise FaultPlanError(
+                "node", self.node,
+                f"PowerTrace.node must be >= 1 (the sink is mains-powered), "
+                f"got {self.node}",
+            )
+        if any(threshold <= 0.0 for threshold in self.brownout_at_j):
+            raise FaultPlanError(
+                "brownout_at_j", self.brownout_at_j,
+                "PowerTrace.brownout_at_j thresholds must be positive",
+            )
+        if list(self.brownout_at_j) != sorted(set(self.brownout_at_j)):
+            raise FaultPlanError(
+                "brownout_at_j", self.brownout_at_j,
+                "PowerTrace.brownout_at_j must be strictly ascending",
+            )
+        if self.harvest_scale < 0.0:
+            raise FaultPlanError(
+                "harvest_scale", self.harvest_scale,
+                f"PowerTrace.harvest_scale must be >= 0, got {self.harvest_scale}",
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A scripted, reproducible set of faults for one campaign run.
 
@@ -124,6 +170,7 @@ class FaultPlan:
     corrupt_prob: float = 0.0
     duplicate_prob: float = 0.0
     seed: int = 0
+    power_traces: tuple[PowerTrace, ...] = ()
 
     def __post_init__(self):
         if not 0.0 <= self.corrupt_prob < 1.0:
@@ -144,6 +191,13 @@ class FaultPlan:
                 "crashes", tuple(crashed),
                 f"FaultPlan schedules multiple crashes for one node: {crashed}",
             )
+        traced = [trace_.node for trace_ in self.power_traces]
+        if len(traced) != len(set(traced)):
+            raise FaultPlanError(
+                "power_traces", tuple(traced),
+                f"FaultPlan schedules multiple power traces for one node: "
+                f"{traced}",
+            )
 
     @property
     def is_empty(self) -> bool:
@@ -152,13 +206,21 @@ class FaultPlan:
             and not self.partitions
             and self.corrupt_prob == 0.0
             and self.duplicate_prob == 0.0
+            and not self.power_traces
         )
 
     def digest(self) -> str:
-        """Content address of the plan (canonical JSON, SHA-256)."""
-        blob = json.dumps(
-            asdict(self), sort_keys=True, separators=(",", ":")
-        )
+        """Content address of the plan (canonical JSON, SHA-256).
+
+        ``power_traces`` is omitted while empty: the field postdates the
+        first committed report digests, and every report embeds its
+        plan's digest, so a trace-free plan must keep hashing exactly as
+        it did before power traces existed.
+        """
+        payload = asdict(self)
+        if not self.power_traces:
+            del payload["power_traces"]
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
@@ -178,6 +240,12 @@ class FaultPlan:
             parts.append(f"corrupt p={self.corrupt_prob:g}")
         if self.duplicate_prob:
             parts.append(f"duplicate p={self.duplicate_prob:g}")
+        for trace_ in self.power_traces:
+            cuts = ",".join(f"{j:g}J" for j in trace_.brownout_at_j)
+            detail = f"brownout@{cuts}" if cuts else "no cuts"
+            if trace_.harvest_scale != 1.0:
+                detail += f" harvest x{trace_.harvest_scale:g}"
+            parts.append(f"power node {trace_.node}: {detail}")
         return "; ".join(parts) if parts else "no faults"
 
 
@@ -233,9 +301,65 @@ def generate_fault_plan(
     return plan
 
 
+def generate_power_traces(
+    rng: random.Random,
+    node_count: int,
+    *,
+    storage_j: float,
+    intensity: float = 1.0,
+    scale_j: "float | None" = None,
+) -> tuple[PowerTrace, ...]:
+    """Draw seeded power traces — the intermittent-power fuzz dimension.
+
+    Thresholds are drawn between a few percent and the whole of the
+    *energy scale*: ``scale_j`` when the caller provides one (the
+    fuzzer passes the blob's flash-write cost, so cuts land between
+    individual page writes of the apply), else ``storage_j`` (the
+    profile's capacitor size).  ``intensity`` scales how many nodes get
+    traces and how many cuts each suffers.  Deterministic: a pure
+    function of the RNG state.
+    """
+    if storage_j <= 0.0:
+        raise FaultPlanError(
+            "storage_j", storage_j,
+            "generate_power_traces needs an energy-limited profile "
+            "(storage_j > 0) to scale brownout thresholds",
+        )
+    if scale_j is not None and scale_j <= 0.0:
+        raise FaultPlanError(
+            "scale_j", scale_j,
+            "generate_power_traces scale_j must be positive when given",
+        )
+    scale = scale_j if scale_j is not None else storage_j
+    with trace.span("net.profile.power_plan", nodes=node_count):
+        traces = []
+        candidates = list(range(1, node_count))
+        rng.shuffle(candidates)
+        budget = min(len(candidates), max(1, round(3 * intensity)))
+        for node in candidates[: rng.randint(1, budget)]:
+            cuts = sorted(
+                round(rng.uniform(0.02, 1.0) * scale, 9)
+                for _ in range(rng.randint(1, max(1, round(2 * intensity))))
+            )
+            thresholds = tuple(dict.fromkeys(cuts))
+            scale = round(rng.uniform(0.25, 2.0), 3) if rng.random() < 0.5 else 1.0
+            traces.append(
+                PowerTrace(
+                    node=node,
+                    brownout_at_j=thresholds,
+                    harvest_scale=scale,
+                )
+            )
+        traces.sort(key=lambda trace_: trace_.node)
+    metrics.counter("net.profile.power_plans").inc()
+    return tuple(traces)
+
+
 __all__ = [
     "FaultPlan",
     "NodeCrash",
     "PartitionWindow",
+    "PowerTrace",
     "generate_fault_plan",
+    "generate_power_traces",
 ]

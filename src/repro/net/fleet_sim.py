@@ -33,6 +33,7 @@ from .errors import NetConfigError
 from .faults import FaultPlan
 from .kernel import DutyCycle, KernelReport, SimKernel, rounds_equivalent
 from .node_state import packetise_blob
+from .profiles import DeviceProfile
 from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -59,6 +60,7 @@ class FleetNode:
         "request_evt",
         "pending",
         "apply_evt",
+        "pages_done",
     )
 
     def __init__(self) -> None:
@@ -72,6 +74,8 @@ class FleetNode:
         self.request_evt = None
         self.pending = 0
         self.apply_evt = None
+        #: nonvolatile flash-page checkpoint (page-granular apply only)
+        self.pages_done = 0
 
 
 class FleetSim:
@@ -105,6 +109,7 @@ class FleetSim:
         apply_s: float,
         component: str,
         coding: "Optional[CodedTransferParams]" = None,
+        profile: Optional[DeviceProfile] = None,
     ):
         if not 0.0 <= loss < 1.0:
             raise NetConfigError(
@@ -132,9 +137,34 @@ class FleetSim:
         self.overhead_per_packet = overhead_per_packet
         self.coding = coding
         self.repairs = 0
+        # A neutral profile (MICA2) is dropped so every profile code
+        # path is gated on ``self.profile is not None`` and the report
+        # stays byte-identical to a profile-less run.
+        self.profile = (
+            profile if profile is not None and not profile.is_neutral else None
+        )
+        if self.plan.power_traces and (
+            self.profile is None or not self.profile.is_energy_limited
+        ):
+            raise NetConfigError(
+                "profile", None if self.profile is None else self.profile.name,
+                "the fault plan scripts power traces, which only act under "
+                "an energy-limited device profile (storage_j > 0)",
+            )
+        if self.profile is not None:
+            payload_per_packet = self.profile.effective_payload(
+                payload_per_packet
+            )
 
         node_count = topology.node_count
-        self.kernel = SimKernel(node_count, power=power, duty_cycle=duty_cycle)
+        self.kernel = SimKernel(
+            node_count,
+            power=power,
+            duty_cycle=duty_cycle,
+            airtime_budget=(
+                self.profile.airtime_budget if self.profile is not None else 1.0
+            ),
+        )
         # Derived string seeds (RNG001): one stream for protocol timer
         # jitter, one for link loss, one for the fault plan's coins.
         self.rng = random.Random(f"repro-{component}:{seed}")
@@ -186,6 +216,36 @@ class FleetSim:
                 if node not in unreachable_set:
                     self.nodes[node].committed = True
             self.remaining = 0
+
+        # -- device-profile state (inert without an active profile) ------
+        self.pages_total = 0
+        self.flash_page_j = 0.0
+        self.stored: "list[float] | None" = None
+        self.node_brownouts = [0] * node_count
+        self.node_resumed = [0] * node_count
+        self.first_death_s: "float | None" = None
+        self.network_death_s: "float | None" = None
+        if self.profile is not None and self.profile.is_paged:
+            self.pages_total = self.profile.pages_for(len(blob))
+            self.flash_page_j = self.profile.flash_write_j_per_page
+        if self.profile is not None and self.profile.is_energy_limited:
+            prof = self.profile
+            self.storage_j = prof.storage_j
+            self.restart_j = prof.restart_fraction * prof.storage_j
+            self.stored = [prof.storage_j * prof.start_fraction] * node_count
+            self.spent = [0.0] * node_count
+            self.harvest_w = [prof.harvest_w] * node_count
+            self.last_energy_t = [0.0] * node_count
+            self.trace_cuts: "dict[int, tuple[float, ...]]" = {}
+            self.trace_pos: "dict[int, int]" = {}
+            for trace_ in self.plan.power_traces:
+                if trace_.node >= node_count:
+                    continue
+                self.trace_cuts[trace_.node] = trace_.brownout_at_j
+                self.trace_pos[trace_.node] = 0
+                self.harvest_w[trace_.node] = (
+                    prof.harvest_w * trace_.harvest_scale
+                )
 
         self._partition_open: "set[int]" = set()
         self._schedule_faults()
@@ -283,6 +343,127 @@ class FleetSim:
             window.severs(a, b, round_no) for window in self.plan.partitions
         )
 
+    # -- device-profile machinery ---------------------------------------
+
+    def tx_gate(self, node: int, retry=None) -> bool:
+        """Airtime-budget gate: True when ``node`` may transmit now.
+
+        When the node's regulatory off-time has not elapsed the TX is
+        *deferred* — counted, never violated — and ``retry`` (when
+        given) is rescheduled at the node's next legal slot.
+        """
+        if self.kernel.tx_allowed(node):
+            return True
+        self.kernel.note_deferral(node)
+        if retry is not None:
+            delay = self.kernel.next_tx_time(node) - self.kernel.now
+            self.kernel.schedule(max(delay, 1e-9), node, retry)
+        return False
+
+    def spend(self, node: int, joules: float) -> bool:
+        """Debit the node's capacitor; False means the energy ran out
+        (or a scripted power trace fired) and the node must brown out.
+
+        Harvest income accrues continuously, so it is credited up to
+        the current kernel time before the debit."""
+        if self.stored is None or node == 0:
+            return True
+        now = self.kernel.now
+        income = self.harvest_w[node]
+        if income > 0.0:
+            self.stored[node] = min(
+                self.storage_j,
+                self.stored[node]
+                + income * (now - self.last_energy_t[node]),
+            )
+        self.last_energy_t[node] = now
+        self.spent[node] += joules
+        self.stored[node] -= joules
+        powered = True
+        cuts = self.trace_cuts.get(node)
+        if cuts is not None:
+            position = self.trace_pos[node]
+            while position < len(cuts) and self.spent[node] >= cuts[position]:
+                position += 1
+                powered = False
+            self.trace_pos[node] = position
+        if self.stored[node] <= 0.0:
+            self.stored[node] = 0.0
+            powered = False
+        return powered
+
+    def _brownout(self, node: int, where: str) -> None:
+        """Power loss mid-operation: volatile staging state is gone, the
+        nonvolatile page checkpoint and the committed bank survive."""
+        state = self.nodes[node]
+        if not state.alive:
+            return
+        state.alive = False
+        self.node_brownouts[node] += 1
+        metrics.counter("net.profile.brownouts").inc()
+        self.fault_log.append(
+            f"t{self.kernel.now:g}: node {node} browned out during {where} "
+            f"(checkpoint {state.pages_done}/{self.pages_total} pages)"
+        )
+        if not state.committed:
+            # Volatile staging bank is lost; ``pages_done`` is flash.
+            state.held = 0
+        for handle in (
+            state.timer, state.respond, state.request_evt, state.apply_evt
+        ):
+            if handle is not None:
+                handle.cancel()
+        state.timer = state.respond = state.request_evt = state.apply_evt = None
+        state.pending = 0
+        unreachable_set = set(self.unreachable)
+        if self.first_death_s is None:
+            self.first_death_s = self.kernel.now
+        if self.network_death_s is None and all(
+            not self.nodes[peer].alive
+            for peer in range(1, self.topology.node_count)
+            if peer not in unreachable_set
+        ):
+            self.network_death_s = self.kernel.now
+        income = self.harvest_w[node]
+        if income > 0.0:
+            # Deterministic recharge: the capacitor reaches the restart
+            # level after deficit/income seconds of harvest.
+            deficit = max(self.restart_j - self.stored[node], 0.0)
+            self.kernel.schedule(
+                deficit / income, node, partial(self._resume, node)
+            )
+
+    def _resume(self, node: int) -> None:
+        """Capacitor recharged to the restart level: boot the resident
+        image and rejoin the protocol."""
+        state = self.nodes[node]
+        if state.alive or self.stored is None:
+            return
+        state.alive = True
+        self.stored[node] = max(self.stored[node], self.restart_j)
+        self.last_energy_t[node] = self.kernel.now
+        metrics.counter("net.profile.resumes").inc()
+        self.fault_log.append(
+            f"t{self.kernel.now:g}: node {node} resumed "
+            f"(checkpoint {state.pages_done}/{self.pages_total} pages)"
+        )
+        self.on_reboot(node)
+
+    def account_tx(self, node: int, bits: int) -> bool:
+        """Kernel TX accounting plus the capacitor debit; returns False
+        when the transmission browned the sender out."""
+        self.kernel.account_tx(node, bits)
+        return self.spend(node, bits * self.power.tx_bit_energy_j)
+
+    def account_rx(self, node: int, bits: int) -> bool:
+        """Kernel RX accounting plus the capacitor debit; returns False
+        when the reception browned the receiver out."""
+        self.kernel.account_rx(node, bits)
+        if not self.spend(node, bits * self.power.rx_bit_energy_j):
+            self._brownout(node, "packet rx")
+            return False
+        return True
+
     # -- data delivery (shared coin order) ------------------------------
 
     def broadcast_data(self, sender: int, batch: "list[int]") -> int:
@@ -316,13 +497,19 @@ class FleetSim:
             self.sent[sender] += len(parity_groups)
         self.transmissions += len(batch)
         self.sent[sender] += len(batch)
-        self.kernel.account_tx(sender, bits)
+        # The sender's capacitor is debited first but a resulting
+        # brownout fires only after the peer loop: the packets were
+        # already in flight when the supply collapsed.
+        sender_powered = self.account_tx(sender, bits)
         for peer in self.topology.neighbors.get(sender, ()):
             if not self.nodes[peer].alive or not self.link_up(sender, peer):
                 continue
-            self.kernel.account_rx(peer, bits)
+            if not self.account_rx(peer, bits):
+                continue
             self.on_overhear_data(peer, mask)
             self._deliver(peer, batch, parity_groups)
+        if not sender_powered:
+            self._brownout(sender, "packet tx")
         return mask
 
     def unicast_data(self, sender: int, receiver: int, batch: "list[int]") -> None:
@@ -330,9 +517,11 @@ class FleetSim:
         bits = sum(self.packet_bits[index] for index in batch)
         self.transmissions += len(batch)
         self.sent[sender] += len(batch)
-        self.kernel.account_tx(sender, bits)
-        self.kernel.account_rx(receiver, bits)
-        self._deliver(receiver, batch)
+        sender_powered = self.account_tx(sender, bits)
+        if self.account_rx(receiver, bits):
+            self._deliver(receiver, batch)
+        if not sender_powered:
+            self._brownout(sender, "packet tx")
 
     def _deliver(
         self,
@@ -428,7 +617,26 @@ class FleetSim:
         state.apply_evt = None
         if not state.alive or state.committed or state.held != self.full_mask:
             return
-        self.cpu_j[node] += self.patch_j
+        if self.pages_total:
+            # Page-granular apply: each flash page is paid for before it
+            # is written, so a brownout between two pages leaves the
+            # checkpoint at the last *completed* page — the torn page is
+            # re-written on resume, and the boot pointer only flips once
+            # every page is down.
+            if state.pages_done:
+                self.node_resumed[node] += 1
+            page_cpu_j = self.patch_j / self.pages_total
+            while state.pages_done < self.pages_total:
+                self.cpu_j[node] += page_cpu_j
+                if not self.spend(node, self.flash_page_j + page_cpu_j):
+                    self._brownout(node, "flash page write")
+                    return
+                state.pages_done += 1
+        else:
+            self.cpu_j[node] += self.patch_j
+            if self.stored is not None and not self.spend(node, self.patch_j):
+                self._brownout(node, "patch apply")
+                return
         state.committed = True
         self.remaining -= 1
         if self.remaining <= 0:
@@ -484,6 +692,29 @@ class FleetSim:
             )
             for node in range(node_count)
         }
+        profile_stats = None
+        if self.profile is not None:
+            profile_stats = {
+                "name": self.profile.name,
+                "airtime_budget": self.profile.airtime_budget,
+                "airtime_deferrals": self.kernel.airtime_deferrals,
+                "airtime_violations": self.kernel.airtime_violations,
+                "brownouts": sum(self.node_brownouts),
+                "resumed_applies": sum(self.node_resumed),
+                "node_brownouts": {
+                    str(node): count
+                    for node, count in enumerate(self.node_brownouts)
+                    if count
+                },
+                "node_resumed_applies": {
+                    str(node): count
+                    for node, count in enumerate(self.node_resumed)
+                    if count
+                },
+                "pages_total": self.pages_total,
+                "first_node_death_s": self.first_death_s,
+                "network_death_s": self.network_death_s,
+            }
         return KernelReport(
             protocol=self.protocol,
             outcome="converged" if not quarantined else "partial",
@@ -511,6 +742,7 @@ class FleetSim:
             sleep_fraction=self.kernel.sleep_fraction(),
             fault_log=self.fault_log,
             plan_digest=self.plan.digest(),
+            profile_stats=profile_stats,
         )
 
 

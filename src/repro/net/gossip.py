@@ -30,6 +30,7 @@ from .faults import FaultPlan
 from .fleet_sim import FleetSim
 from .kernel import LPL_1, DutyCycle, KernelReport
 from .node_state import APPLY_ROUNDS
+from .profiles import DeviceProfile
 from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -108,6 +109,10 @@ class GossipSim(FleetSim):
         state.timer = self.kernel.schedule(
             delay, node, partial(self._fire, node)
         )
+        if not self.tx_gate(node):
+            # Regulatory off-time not elapsed: sit this period out (a
+            # deferral, never a violation); the period timer retries.
+            return
         candidates = [
             peer
             for peer in self.topology.neighbors.get(node, ())
@@ -122,25 +127,53 @@ class GossipSim(FleetSim):
         """Push-pull: summaries both ways, then data both ways."""
         # a's summary; losing it aborts the whole exchange.
         self.beacons += 1
-        self.kernel.account_tx(a, self.summary_bits)
-        self.kernel.account_rx(b, self.summary_bits)
+        a_powered = self.account_tx(a, self.summary_bits)
+        b_ok = self.account_rx(b, self.summary_bits)
+        if not a_powered:
+            self._brownout(a, "packet tx")
+        if not b_ok or not self.nodes[a].alive:
+            return
         if self.rng_link.random() < self.loss:
             self.drops += 1
             return
-        # b's reply summary.
+        # b's reply summary (its own airtime budget applies).
+        if not self.tx_gate(b):
+            return
         self.beacons += 1
-        self.kernel.account_tx(b, self.summary_bits)
-        self.kernel.account_rx(a, self.summary_bits)
+        b_powered = self.account_tx(b, self.summary_bits)
+        a_ok = self.account_rx(a, self.summary_bits)
+        if not b_powered:
+            self._brownout(b, "packet tx")
+        if not a_ok:
+            return
         if self.rng_link.random() < self.loss:
             self.drops += 1
             return
         self.exchanges += 1
         push = self.nodes[a].held & ~self.nodes[b].held
         if push and not self.nodes[b].committed:
-            self.unicast_data(a, b, self._batch(push))
+            self._send_data(a, b)
         pull = self.nodes[b].held & ~self.nodes[a].held
         if pull and not self.nodes[a].committed:
-            self.unicast_data(b, a, self._batch(pull))
+            self._send_data(b, a)
+
+    def _send_data(self, sender: int, receiver: int) -> None:
+        """One data leg of an exchange; under an airtime budget a
+        gated leg is rescheduled at the sender's next legal TX slot."""
+        sstate = self.nodes[sender]
+        rstate = self.nodes[receiver]
+        if not sstate.alive or not rstate.alive or rstate.committed:
+            return
+        if not self.link_up(sender, receiver):
+            return
+        mask = sstate.held & ~rstate.held
+        if not mask:
+            return
+        if not self.tx_gate(
+            sender, retry=partial(self._send_data, sender, receiver)
+        ):
+            return
+        self.unicast_data(sender, receiver, self._batch(mask))
 
     def _batch(self, mask: int) -> "list[int]":
         batch = []
@@ -168,6 +201,7 @@ def run_gossip(
     new_version: int = 1,
     round_s: float = 1.0,
     coding: "Optional[CodedTransferParams]" = None,
+    profile: Optional[DeviceProfile] = None,
 ) -> KernelReport:
     """Disseminate ``blob`` by push-pull gossip; never raises for an
     unconverged fleet.
@@ -200,6 +234,7 @@ def run_gossip(
             round_s=round_s,
             apply_s=APPLY_ROUNDS * round_s,
             coding=coding,
+            profile=profile,
             component="net-gossip",
             params=gossip_params,
         )

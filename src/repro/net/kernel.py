@@ -114,15 +114,27 @@ class SimKernel:
         node_count: int,
         power: PowerModel = MICA2,
         duty_cycle: DutyCycle = ALWAYS_ON,
+        airtime_budget: float = 1.0,
     ):
         if node_count < 1:
             raise NetConfigError(
                 "node_count", node_count,
                 f"kernel needs at least one node, got {node_count}",
             )
+        if not 0.0 < airtime_budget <= 1.0:
+            raise NetConfigError(
+                "airtime_budget", airtime_budget,
+                f"airtime budget {airtime_budget} out of (0, 1]",
+            )
         self.node_count = node_count
         self.power = power
         self.duty_cycle = duty_cycle
+        #: Regulatory duty-cycle fraction; ``1.0`` disables enforcement.
+        #: Below 1.0 the kernel applies the ETSI off-time rule: after a
+        #: transmission of ``t`` seconds a node must stay silent for
+        #: ``t * (1/budget - 1)`` seconds, so its long-run on-air share
+        #: never exceeds ``budget``.
+        self.airtime_budget = airtime_budget
         self.now = 0.0
         self.events_dispatched = 0
         self._seq = 0
@@ -130,6 +142,10 @@ class SimKernel:
         self._stopped = False
         self.tx_s = [0.0] * node_count
         self.rx_s = [0.0] * node_count
+        #: Earliest instant each node may legally transmit again.
+        self.next_tx_s = [0.0] * node_count
+        self.airtime_deferrals = 0
+        self.airtime_violations = 0
 
     # -- scheduling -----------------------------------------------------
 
@@ -193,9 +209,41 @@ class SimKernel:
 
     # -- radio-time accounting ------------------------------------------
 
+    def tx_allowed(self, node: int) -> bool:
+        """May ``node`` legally transmit at the current instant?
+
+        Always true for an unregulated kernel.  Under a budget the node
+        is silenced until its off-time from the previous transmission
+        has elapsed — protocols must check this and defer (reschedule to
+        :meth:`next_tx_time`) instead of transmitting.
+        """
+        if self.airtime_budget >= 1.0:
+            return True
+        return self.now + 1e-12 >= self.next_tx_s[node]
+
+    def next_tx_time(self, node: int) -> float:
+        """Earliest legal transmit instant for ``node`` (``>= now``)."""
+        return max(self.now, self.next_tx_s[node])
+
+    def note_deferral(self, node: int) -> None:
+        """A protocol deferred a transmission to the next legal slot."""
+        self.airtime_deferrals += 1
+        metrics.counter("net.profile.airtime_deferrals").inc()
+
     def account_tx(self, node: int, bits: int) -> None:
-        """Accrue the airtime of transmitting ``bits`` at ``node``."""
-        self.tx_s[node] += bits / self.power.radio_bps
+        """Accrue the airtime of transmitting ``bits`` at ``node`` and,
+        under a regulatory budget, start the node's off-time clock."""
+        airtime = bits / self.power.radio_bps
+        self.tx_s[node] += airtime
+        if self.airtime_budget >= 1.0:
+            return
+        if self.now + 1e-12 < self.next_tx_s[node]:
+            # Unreachable when protocols gate on tx_allowed(); counted
+            # (and pinned to zero by the profiles bench) rather than
+            # silently tolerated.
+            self.airtime_violations += 1
+            metrics.counter("net.profile.airtime_violations").inc()
+        self.next_tx_s[node] = self.now + airtime / self.airtime_budget
 
     def account_rx(self, node: int, bits: int) -> None:
         """Accrue the airtime of receiving ``bits`` at ``node``."""
@@ -282,6 +330,10 @@ class KernelReport:
     sleep_fraction: float = 0.0
     fault_log: "list[str]" = field(default_factory=list)
     plan_digest: str = ""
+    #: Device-profile outcome block; ``None`` keeps the rendering
+    #: byte-identical to pre-profile reports (same contract as
+    #: :attr:`repro.net.campaign.CampaignReport.profile_stats`).
+    profile_stats: "dict | None" = None
 
     @property
     def converged(self) -> bool:
@@ -361,6 +413,8 @@ class KernelReport:
                 for node, ledger in sorted(self.ledgers.items())
             },
         }
+        if self.profile_stats is not None:
+            payload["profile"] = self.profile_stats
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def digest(self) -> str:
@@ -387,6 +441,14 @@ class KernelReport:
             f"({self.total_idle_j * 1e3:.2f} mJ idle-listening), "
             f"hottest node {self.max_node_energy_j() * 1e3:.3f} mJ",
         ]
+        if self.profile_stats is not None:
+            stats = self.profile_stats
+            lines.append(
+                f"profile  : {stats['name']} — "
+                f"{stats['airtime_deferrals']} airtime deferrals "
+                f"({stats['airtime_violations']} violations), "
+                f"{stats['brownouts']} brownouts"
+            )
         if self.quarantined:
             nodes = ", ".join(str(node) for node in self.quarantined)
             lines.append(f"quarantined: {nodes}")

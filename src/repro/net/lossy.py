@@ -120,7 +120,7 @@ def _disseminate_lossy(
     power: PowerModel,
     max_rounds: int,
 ) -> LossyResult:
-    rng = random.Random(seed)
+    rng = random.Random(f"repro-lossy:{seed}")
     count = packets.packet_count
     packet_bits = 8 * (packets.payload_per_packet + packets.overhead_per_packet)
     nack_bits = 8 * NACK_BYTES

@@ -99,6 +99,12 @@ class NodeUpdateState:
     duplicates: int = 0
     #: what neighbours believe this node misses (updated on NACK)
     advertised_missing: set[int] = field(default_factory=set)
+    #: page-granular apply checkpoint (nonvolatile: survives brownouts);
+    #: ``pages_total == 0`` means the legacy whole-rounds apply is in use
+    pages_total: int = 0
+    pages_done: int = 0
+    brownouts: int = 0
+    resumed_applies: int = 0
     _apply_left: int = 0
     _nack_interval: int = 1
     _next_nack_round: int = 1
@@ -155,6 +161,63 @@ class NodeUpdateState:
         self.advertised_missing.clear()
         return True
 
+    # -- page-granular checkpointed apply -------------------------------
+    #
+    # Under an energy-limited device profile the inactive-bank write is
+    # page-wise: each flash page costs real energy and a brownout can
+    # land between any two page writes.  ``pages_done`` is the
+    # *nonvolatile* checkpoint — flash already programmed survives power
+    # loss — so a resumed node continues from its last completed page
+    # instead of restarting, while the boot pointer still only flips in
+    # :meth:`commit_pages` after every page is down and the staged blob
+    # verified.  Rollback to the golden image stays the fallback: until
+    # the flip, the resident image is untouched.
+
+    def begin_pages(self, pages_total: int) -> None:
+        """Start (or resume) a page-wise apply pass of ``pages_total``
+        pages.  Counts a resume when a brownout checkpoint is present."""
+        if pages_total < 1:
+            raise NetConfigError(
+                "pages_total", pages_total,
+                f"pages_total must be >= 1, got {pages_total}",
+            )
+        if not self.alive or self.committed or self.state != "staged":
+            return
+        if self.pages_total not in (0, pages_total):
+            raise NetConfigError(
+                "pages_total", pages_total,
+                f"page plan changed mid-apply: checkpoint says "
+                f"{self.pages_total} pages, caller says {pages_total}",
+            )
+        self.pages_total = pages_total
+        if self.pages_done:
+            # Flash written before the brownout is still valid: resume
+            # from the checkpoint rather than erasing and restarting.
+            self.resumed_applies += 1
+        self.state = "applying"
+
+    def write_page(self) -> bool:
+        """Program one flash page of the inactive bank; returns True when
+        every page has been written (commit becomes legal)."""
+        if not self.alive or self.committed or self.state != "applying":
+            return False
+        if self.pages_done < self.pages_total:
+            self.pages_done += 1
+        return self.pages_done >= self.pages_total
+
+    def commit_pages(self, new_version: int) -> bool:
+        """Boot-pointer flip for the page-wise apply: atomic, legal only
+        once every page is programmed.  Returns True on the flip."""
+        if not self.alive or self.committed or self.state != "applying":
+            return False
+        if self.pages_done < self.pages_total or self.pages_total == 0:
+            return False
+        self.committed = True
+        self.version = new_version
+        self.state = "committed"
+        self.advertised_missing.clear()
+        return True
+
     # -- crash / reboot -------------------------------------------------
 
     def crash(self) -> None:
@@ -171,6 +234,16 @@ class NodeUpdateState:
             self._apply_left = 0
             self.state = "down"
 
+    def brownout(self) -> None:
+        """Stored energy hit zero (or a scripted power cut fired) —
+        possibly between two flash page writes.  Volatile staging state
+        is lost exactly as in :meth:`crash`, but the nonvolatile page
+        checkpoint (``pages_done``) and the committed bank survive, so a
+        later :meth:`resume` continues the apply from the last completed
+        page instead of restarting it."""
+        self.brownouts += 1
+        self.crash()
+
     def reboot(self, round_no: int) -> None:
         """Power restored; the node boots whichever image the boot
         pointer targets and re-syncs from scratch if uncommitted."""
@@ -178,6 +251,13 @@ class NodeUpdateState:
         self.state = "committed" if self.committed else "idle"
         self._nack_interval = 1
         self._next_nack_round = round_no
+
+    def resume(self, round_no: int) -> None:
+        """Capacitor recharged after a brownout: boot the resident image
+        (golden until the flip, new after) and re-sync.  Re-received
+        packets refill the volatile bank; the page checkpoint makes the
+        next apply pass a resume."""
+        self.reboot(round_no)
 
     # -- NACK backoff ---------------------------------------------------
 

@@ -107,7 +107,7 @@ def random_geometric(
     Resamples until connected (raises after ``max_attempts``), so the
     returned network is always usable for dissemination experiments.
     """
-    rng = random.Random(seed)
+    rng = random.Random(f"repro-topology:{seed}")
     for _ in range(max_attempts):
         positions = [
             (rng.uniform(0, area), rng.uniform(0, area)) for _ in range(node_count)

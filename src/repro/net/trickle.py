@@ -44,6 +44,7 @@ from .faults import FaultPlan
 from .fleet_sim import FleetSim
 from .kernel import LPL_1, DutyCycle, KernelReport
 from .node_state import APPLY_ROUNDS
+from .profiles import DeviceProfile
 from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -155,16 +156,24 @@ class TrickleSim(FleetSim):
     # -- beacons ---------------------------------------------------------
 
     def _beacon(self, node: int) -> None:
+        if not self.tx_gate(node):
+            # Regulatory off-time not elapsed: skip this interval's
+            # beacon (a deferral, never a violation).  The Trickle
+            # timer itself supplies the retry.
+            return
         self.beacons += 1
-        self.kernel.account_tx(node, self.beacon_bits)
+        sender_powered = self.account_tx(node, self.beacon_bits)
         for peer in self.topology.neighbors.get(node, ()):
             if not self.nodes[peer].alive or not self.link_up(node, peer):
                 continue
-            self.kernel.account_rx(peer, self.beacon_bits)
+            if not self.account_rx(peer, self.beacon_bits):
+                continue
             if self.rng_link.random() < self.loss:
                 self.drops += 1
                 continue
             self._hear_beacon(peer, node)
+        if not sender_powered:
+            self._brownout(node, "packet tx")
 
     def _hear_beacon(self, listener: int, sender: int) -> None:
         lstate = self.nodes[listener]
@@ -192,15 +201,23 @@ class TrickleSim(FleetSim):
         response window either way — a lost REQ costs silence, never a
         storm.
         """
+        if not self.tx_gate(node):
+            # Budget-gated REQ: stay silent; a later beacon re-triggers.
+            return
         self.requests += 1
-        self.kernel.account_tx(node, self.beacon_bits)
-        self.kernel.account_rx(holder, self.beacon_bits)
-        state = self.nodes[node]
-        state.request_evt = self.kernel.schedule(
-            2.0 * self.params.response_wait_s,
-            node,
-            partial(self._request_timeout, node),
-        )
+        requester_powered = self.account_tx(node, self.beacon_bits)
+        holder_powered = self.account_rx(holder, self.beacon_bits)
+        if requester_powered:
+            state = self.nodes[node]
+            state.request_evt = self.kernel.schedule(
+                2.0 * self.params.response_wait_s,
+                node,
+                partial(self._request_timeout, node),
+            )
+        else:
+            self._brownout(node, "packet tx")
+        if not holder_powered:
+            return
         if self.rng_link.random() < self.loss:
             self.drops += 1
             return
@@ -223,6 +240,14 @@ class TrickleSim(FleetSim):
         if not state.alive:
             state.pending = 0
             return
+        if state.pending & state.held and not self.tx_gate(node):
+            # Keep the pending mask and retry the burst at the node's
+            # next legal TX slot (polite suppression still applies).
+            delay = self.kernel.next_tx_time(node) - self.kernel.now
+            state.respond = self.kernel.schedule(
+                max(delay, 1e-9), node, partial(self._respond, node)
+            )
+            return
         send = state.pending & state.held
         state.pending = 0
         if not send:
@@ -235,6 +260,10 @@ class TrickleSim(FleetSim):
             batch.append(low.bit_length() - 1)
             mask ^= low
         self.broadcast_data(node, batch)
+        if not state.alive:
+            # The burst browned the sender out mid-transmission.
+            state.pending = 0
+            return
         if mask:
             # More than one burst owed: re-queue the remainder.
             state.pending |= mask
@@ -272,6 +301,7 @@ def run_trickle(
     new_version: int = 1,
     round_s: float = 1.0,
     coding: "Optional[CodedTransferParams]" = None,
+    profile: Optional[DeviceProfile] = None,
 ) -> KernelReport:
     """Disseminate ``blob`` with Trickle; never raises for an
     unconverged fleet.
@@ -305,6 +335,7 @@ def run_trickle(
             round_s=round_s,
             apply_s=APPLY_ROUNDS * round_s,
             coding=coding,
+            profile=profile,
             component="net-trickle",
             params=trickle_params,
         )

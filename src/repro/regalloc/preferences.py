@@ -92,7 +92,7 @@ def misleading_preferences(
     needs 2-3x more iterations.  Deterministic given ``seed``."""
     import random
 
-    rng = random.Random(seed)
+    rng = random.Random(f"repro-preferences:{seed}")
     scrambled = PreferenceMap(was_spilled=dict(prefs.was_spilled))
     for (name, idx), _ in prefs.tags.items():
         scrambled.tags[(name, idx)] = rng.choice(registers)

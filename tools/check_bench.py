@@ -31,7 +31,15 @@ import json
 import sys
 from pathlib import Path
 
-AREAS = ("compile", "ilp", "diff", "campaign", "dissemination", "versioning")
+AREAS = (
+    "compile",
+    "ilp",
+    "diff",
+    "campaign",
+    "dissemination",
+    "versioning",
+    "profiles",
+)
 SCHEMA = "repro-bench/1"
 
 #: The speedup-ratio floor only applies to workloads the fast path
